@@ -1,0 +1,103 @@
+// Command smbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	smbench -exp all                 # everything (slow)
+//	smbench -exp table4 -subset c432,c880
+//	smbench -exp table2 -scale 300
+//	smbench -exp fig4 > fig4.csv
+//
+// Experiments: table1 table2 table3 table4 table5 table6 fig4 fig5 fig6
+// ppa ablation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"splitmfg/internal/report"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (table1..table6, fig4, fig5, fig6, ppa, ablation, all)")
+	scale := flag.Int("scale", 300, "superblue scale divisor (1 = full size)")
+	seed := flag.Int64("seed", 1, "master seed")
+	words := flag.Int("patterns", 256, "64-pattern words for OER/HD (256 = 16384 patterns)")
+	subset := flag.String("subset", "", "comma-separated ISCAS subset (default: all nine)")
+	fig4Design := flag.String("fig4design", "superblue18", "design for fig4/fig5 series")
+	flag.Parse()
+
+	cfg := report.Config{
+		Seed:           *seed,
+		SuperblueScale: *scale,
+		PatternWords:   *words,
+	}
+	if *subset != "" {
+		cfg.ISCASSubset = strings.Split(*subset, ",")
+	}
+
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Printf("== %s ==\n", name)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	table := func(f func(report.Config) (*report.Table, error)) func() error {
+		return func() error {
+			t, err := f(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(t.Render())
+			return nil
+		}
+	}
+
+	run("table1", table(report.Table1))
+	run("table2", table(report.Table2))
+	run("table3", table(report.Table3))
+	run("table4", table(report.Table4))
+	run("table5", table(report.Table5))
+	run("table6", table(report.Table6))
+	run("fig4", func() error {
+		csv, err := report.Fig4CSV(*fig4Design, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(csv)
+		return nil
+	})
+	run("fig5", func() error {
+		t, err := report.Fig5(*fig4Design, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(t.Render())
+		return nil
+	})
+	run("fig6", func() error {
+		t, _, err := report.Fig6PPA(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(t.Render())
+		return nil
+	})
+	run("ppa", table(report.SuperbluePPA))
+	run("ablation", func() error {
+		t, err := report.AblationSwapBudget("c880", []int{4, 8, 16, 32, 64}, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(t.Render())
+		return nil
+	})
+}

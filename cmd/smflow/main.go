@@ -1,0 +1,121 @@
+// Command smflow runs the full protection flow (Fig. 2 of the paper) on a
+// benchmark and writes the protected layout as DEF, plus the erroneous
+// netlist as Verilog, plus a PPA/security report to stdout.
+//
+// Usage:
+//
+//	smflow -bench c432 -lift 6 -budget 20 -out c432_protected.def
+//	smflow -bench superblue18 -scale 300 -lift 8 -budget 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"splitmfg/internal/bench"
+	"splitmfg/internal/cell"
+	"splitmfg/internal/defio"
+	"splitmfg/internal/flow"
+	"splitmfg/internal/netlist"
+	"splitmfg/internal/verilog"
+)
+
+func main() {
+	name := flag.String("bench", "c432", "benchmark (c432..c7552 or superblue1/5/10/12/18)")
+	lift := flag.Int("lift", 0, "lift layer (default: 6 for ISCAS, 8 for superblue)")
+	budget := flag.Float64("budget", 0, "PPA budget percent (default: 20 ISCAS, 5 superblue)")
+	scale := flag.Int("scale", 300, "superblue scale divisor")
+	seed := flag.Int64("seed", 1, "seed")
+	util := flag.Int("util", 0, "placement utilization (default: 70 ISCAS, published superblue values)")
+	out := flag.String("out", "", "write protected-layout DEF to this file")
+	vout := flag.String("verilog", "", "write the erroneous (FEOL) netlist as Verilog to this file")
+	flag.Parse()
+
+	var (
+		nl  *netlist.Netlist
+		err error
+	)
+	isSB := strings.HasPrefix(*name, "superblue")
+	if isSB {
+		nl, err = bench.Superblue(*name, *scale)
+		if *lift == 0 {
+			*lift = 8
+		}
+		if *budget == 0 {
+			*budget = 5
+		}
+		if *util == 0 {
+			*util, _ = bench.SuperblueUtil(*name)
+		}
+	} else {
+		nl, err = bench.ISCAS85(*name)
+		if *lift == 0 {
+			*lift = 6
+		}
+		if *budget == 0 {
+			*budget = 20
+		}
+		if *util == 0 {
+			*util = 70
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	lib := cell.NewNangate45Like()
+	res, err := flow.Protect(nl, lib, flow.Config{
+		LiftLayer: *lift, UtilPercent: *util, Seed: *seed, PPABudgetPercent: *budget,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("design        %s (%v)\n", nl.Name, nl.ComputeStats())
+	fmt.Printf("swaps         %d (erroneous-netlist OER %.3f)\n", res.Swaps, res.OER)
+	fmt.Printf("baseline PPA  %v\n", res.BasePPA)
+	fmt.Printf("restored PPA  %v\n", res.FinalPPA)
+	fmt.Printf("overheads     area %.1f%%  power %.1f%%  delay %.1f%%  (budget %.0f%%)\n",
+		res.AreaOH, res.PowerOH, res.DelayOH, res.Budget)
+
+	sec, err := flow.EvaluateSecurity(res.Protected.Design, nl, []int{3, 4, 5},
+		res.Protected.ProtectedSinks(), *seed, 256)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("attack        CCR %.1f%%  OER %.1f%%  HD %.1f%% over %d protected fragments (M3/M4/M5 avg)\n",
+		sec.CCR*100, sec.OER*100, sec.HD*100, sec.Protected)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := defio.Write(f, res.Protected.Design); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote         %s\n", *out)
+	}
+	if *vout != "" {
+		f, err := os.Create(*vout)
+		if err != nil {
+			fatal(err)
+		}
+		if err := verilog.Write(f, res.Protected.Erroneous); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote         %s\n", *vout)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "smflow:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,87 @@
+// Command smsplit is the paper's DEF splitting and conversion utility: it
+// builds (or re-reads) a layout, splits it after a metal layer, and emits
+// the FEOL-only DEF plus the .rt/.out files that routing-centric attack
+// tooling consumes.
+//
+// Usage:
+//
+//	smsplit -bench c880 -layer 3 -o c880            # c880_feol.def, c880.rt, c880.out
+//	smsplit -bench superblue18 -scale 300 -layer 5 -o sb18
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"splitmfg/internal/bench"
+	"splitmfg/internal/cell"
+	"splitmfg/internal/defense/correction"
+	"splitmfg/internal/defio"
+	"splitmfg/internal/netlist"
+)
+
+func main() {
+	name := flag.String("bench", "c880", "benchmark name")
+	layer := flag.Int("layer", 3, "split after this metal layer")
+	scale := flag.Int("scale", 300, "superblue scale divisor")
+	seed := flag.Int64("seed", 1, "seed")
+	out := flag.String("o", "", "output prefix (default: benchmark name)")
+	flag.Parse()
+
+	prefix := *out
+	if prefix == "" {
+		prefix = *name
+	}
+	var (
+		nl   *netlist.Netlist
+		err  error
+		util = 70
+	)
+	if strings.HasPrefix(*name, "superblue") {
+		nl, err = bench.Superblue(*name, *scale)
+		if err == nil {
+			util, err = bench.SuperblueUtil(*name)
+		}
+	} else {
+		nl, err = bench.ISCAS85(*name)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	lib := cell.NewNangate45Like()
+	d, err := correction.BuildOriginal(nl, lib, correction.Options{UtilPercent: util, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+
+	write := func(path string, f func(*os.File) error) {
+		fh, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := f(fh); err != nil {
+			fatal(err)
+		}
+		if err := fh.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+	write(prefix+"_feol.def", func(f *os.File) error { return defio.WriteSplit(f, d, *layer) })
+	write(prefix+".rt", func(f *os.File) error { return defio.WriteRT(f, d) })
+	write(prefix+".out", func(f *os.File) error { return defio.WriteOut(f, d, *layer) })
+
+	sv, err := d.Split(*layer)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("split after M%d: %d vpins, %d fragments (%d driver-side, %d open sink-side)\n",
+		*layer, len(sv.VPins), len(sv.Frags), len(sv.DriverFrags()), len(sv.SinkFrags()))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "smsplit:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,15 @@
+// Package splitmfg reproduces "Raise Your Game for Split Manufacturing:
+// Restoring the True Functionality Through BEOL" (Patnaik, Ashraf,
+// Knechtel, Sinanoglu — DAC 2018) as a self-contained Go library.
+//
+// The public surface is organized as internal packages (this repository is
+// a research artifact, not a semver API): see README.md for the module
+// map, DESIGN.md for the system inventory and paper-to-code experiment
+// index, and EXPERIMENTS.md for the paper-vs-measured comparison.
+//
+// The root package carries the benchmark harness (bench_test.go): one
+// testing.B benchmark per table and figure of the paper plus the ablation
+// benches, all runnable with
+//
+//	go test -bench=. -benchmem
+package splitmfg

@@ -1,0 +1,102 @@
+// attack_lab takes the attacker's perspective: sweep the split layer from
+// M3 to M8 on one design (original and protected) and watch how the
+// exposed surface (vpins, open fragments) and the attack's success change.
+// This is the experiment behind the paper's argument that splitting after
+// higher layers — which is cheaper to manufacture — is normally *less*
+// secure, unless the proposed scheme is used.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"splitmfg/internal/attack/proximity"
+	"splitmfg/internal/bench"
+	"splitmfg/internal/cell"
+	"splitmfg/internal/defense/correction"
+	"splitmfg/internal/defense/randomize"
+	"splitmfg/internal/metrics"
+)
+
+func main() {
+	name := flag.String("bench", "c1908", "ISCAS benchmark")
+	seed := flag.Int64("seed", 1, "seed")
+	flag.Parse()
+
+	nl, err := bench.ISCAS85(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lib := cell.NewNangate45Like()
+	copt := correction.Options{LiftLayer: 6, UtilPercent: 70, Seed: *seed}
+
+	orig, err := correction.BuildOriginal(nl, lib, copt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	r, err := randomize.Randomize(nl, rng, randomize.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	prot, err := correction.BuildProtected(nl, r, lib, copt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s: split-layer sweep (network-flow attack)\n", *name)
+	fmt.Printf("%-6s | %-28s | %-28s\n", "split", "original (vpins/open/CCR%)", "proposed (vpins/open/CCR%)")
+	for layer := 3; layer <= 8; layer++ {
+		line := fmt.Sprintf("M%-5d", layer)
+		for i, d := range []*struct {
+			des    interface{}
+			isProt bool
+		}{{orig, false}, {prot.Design, true}} {
+			_ = i
+			design := orig
+			if d.isProt {
+				design = prot.Design
+			}
+			sv, err := design.Split(layer)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res := proximity.Attack(design, sv, proximity.DefaultOptions())
+			var ccr metrics.CCRResult
+			if d.isProt {
+				// score protected sinks only
+				truth := metrics.TrueAssignment(design, sv, nl)
+				protPins := prot.ProtectedSinks()
+				for _, fid := range sv.SinkFrags() {
+					hit := false
+					for _, sp := range sv.Frags[fid].SinkPins() {
+						if protPins[sp.Ref] {
+							hit = true
+							break
+						}
+					}
+					if !hit {
+						continue
+					}
+					ccr.Protected++
+					if got, ok := res.Assignment[fid]; ok && got >= 0 && got == truth[fid] {
+						ccr.Correct++
+					}
+				}
+				if ccr.Protected > 0 {
+					ccr.CCR = float64(ccr.Correct) / float64(ccr.Protected)
+				}
+			} else {
+				ccr = metrics.CCR(design, sv, nl, res.Assignment)
+			}
+			line += fmt.Sprintf(" | %5d / %4d / %5.1f%%      ", len(sv.VPins), ccr.Protected, ccr.CCR*100)
+		}
+		fmt.Println(line)
+	}
+	fmt.Println()
+	fmt.Println("Reading: for the original design the exposure shrinks with higher")
+	fmt.Println("splits only because fewer nets cross; for the protected design the")
+	fmt.Println("randomized nets cross every boundary up to M6 and still resist.")
+}

@@ -1,0 +1,41 @@
+// iscas_protect reproduces the Tables 4/5 style study on a chosen subset
+// of ISCAS-85 benchmarks: it attacks the original layout, three
+// representative prior defenses, and the proposed scheme, printing
+// CCR/OER/HD averaged over splits after M3/M4/M5.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"splitmfg/internal/report"
+)
+
+func main() {
+	subset := flag.String("subset", "c432,c880,c1908", "ISCAS benchmarks to study")
+	seed := flag.Int64("seed", 1, "seed")
+	flag.Parse()
+
+	cfg := report.Config{Seed: *seed, ISCASSubset: strings.Split(*subset, ","), PatternWords: 128}
+
+	fmt.Println("Attacking each defense variant with the network-flow proximity attack")
+	fmt.Println("(CCR/OER/HD in %, averaged over splits after M3, M4, M5)")
+	fmt.Println()
+	for _, variant := range []string{"original", "placement-perturbation", "g-color", "synergistic", "proposed"} {
+		rows, err := report.SecurityStudy(variant, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range rows {
+			fmt.Printf("%-8s %-24s CCR %5.1f  OER %5.1f  HD %5.1f  (%d fragments)\n",
+				r.Benchmark, r.Variant, r.CCR, r.OER, r.HD, r.Frags)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Paper's qualitative claim: original is broadly recoverable, prior")
+	fmt.Println("defenses only dampen the attack, the proposed scheme drives CCR to ≈0")
+	fmt.Println("while OER stays ≈100% — the attacker reconstructs a netlist that is")
+	fmt.Println("wrong on essentially every input pattern.")
+}

@@ -1,0 +1,54 @@
+// superblue_routing reproduces the routing-centric part of the evaluation
+// (Tables 1-3, Figs. 4-5) on one superblue-like design: distances between
+// truly connected gates, per-boundary via deltas, per-layer wirelength of
+// the randomized nets, and the crouting attack's candidate-list metrics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"splitmfg/internal/report"
+)
+
+func main() {
+	design := flag.String("design", "superblue18", "superblue design name")
+	scale := flag.Int("scale", 400, "scale divisor (1 = published size; 400 runs in seconds)")
+	seed := flag.Int64("seed", 1, "seed")
+	flag.Parse()
+
+	cfg := report.Config{Seed: *seed, SuperblueScale: *scale}
+
+	t1, err := report.Table1(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Print only this design's rows.
+	fmt.Println("Distances between connected gates (Table 1 for", *design, "):")
+	for _, row := range t1.Rows {
+		if row[0] == *design {
+			fmt.Printf("  %-9s mean %s  median %s  std %s  (paper %s)\n", row[1], row[2], row[3], row[4], row[5])
+		}
+	}
+	fmt.Println()
+
+	f5, err := report.Fig5(*design, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(f5.Render())
+	fmt.Println()
+
+	t3, err := report.Table3(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("crouting attack (Table 3 for", *design, "):")
+	for _, row := range t3.Rows {
+		if row[0] == *design {
+			fmt.Printf("  %-9s vpins %-6s E[LS] %s/%s/%s  match-in-list %s..%s\n",
+				row[1], row[2], row[3], row[4], row[5], row[6], row[7])
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Package crouting implements a routing-centric attack in the style of
+// Magaña, Shi, Davoodi, "Are proximity attacks a threat to the security of
+// split manufacturing of integrated circuits?" (ICCAD 2016) — the attack
+// the paper uses on the superblue suite (their "crouting" variant).
+//
+// Unlike the network-flow attack, crouting does not output a netlist; it
+// confines the solution space: for every vpin it builds a candidate list
+// of possible partner fragments found within an expanded bounding box
+// around the vpin's dangling wire. The reported metrics are the paper's
+// Table 3 columns: the number of vpins, the expected candidate-list size
+// E[LS] per bounding-box size, and the match-in-list rate (how often the
+// true partner is actually in the list — when it is not, no downstream
+// attack can ever recover that net).
+package crouting
+
+import (
+	"math"
+
+	"splitmfg/internal/layout"
+	"splitmfg/internal/metrics"
+	"splitmfg/internal/netlist"
+)
+
+// Options tunes the attack.
+type Options struct {
+	BBoxes       []int // candidate bounding-box half-widths in gcells (paper: 15, 30, 45)
+	UseDirection bool  // extend the box only toward the dangling direction
+}
+
+// DefaultOptions mirrors the paper's Table 3 setup.
+func DefaultOptions() Options {
+	return Options{BBoxes: []int{15, 30, 45}, UseDirection: true}
+}
+
+// Result aggregates the crouting metrics per bounding-box size.
+type Result struct {
+	NumVPins    int
+	AvgListSize map[int]float64 // bbox -> E[LS]
+	MatchInList map[int]float64 // bbox -> fraction with true partner in list
+}
+
+// Attack runs the candidate-list construction over a split view. ref (the
+// original netlist) is used only for the match-in-list ground-truth metric;
+// the candidate lists themselves are FEOL-only.
+func Attack(d *layout.Design, sv *layout.SplitView, ref *netlist.Netlist, opt Options) Result {
+	if len(opt.BBoxes) == 0 {
+		opt.BBoxes = []int{15, 30, 45}
+	}
+	res := Result{
+		NumVPins:    len(sv.VPins),
+		AvgListSize: map[int]float64{},
+		MatchInList: map[int]float64{},
+	}
+	if len(sv.VPins) == 0 {
+		return res
+	}
+	// Bucket vpins by gcell for range queries.
+	type key struct{ x, y int }
+	buckets := map[key][]int{}
+	for i, vp := range sv.VPins {
+		buckets[key{vp.Node.X, vp.Node.Y}] = append(buckets[key{vp.Node.X, vp.Node.Y}], i)
+	}
+	// Ground truth: fragment -> set of true partner fragments.
+	truth := metrics.TrueAssignment(d, sv, ref)
+	partners := map[int]map[int]bool{}
+	addPartner := func(a, b int) {
+		if partners[a] == nil {
+			partners[a] = map[int]bool{}
+		}
+		partners[a][b] = true
+	}
+	for sink, drv := range truth {
+		if drv >= 0 {
+			addPartner(sink, drv)
+			addPartner(drv, sink)
+		}
+	}
+
+	for _, b := range opt.BBoxes {
+		var totalList int
+		var withPartner, matched int
+		for i := range sv.VPins {
+			vp := &sv.VPins[i]
+			loX, hiX := vp.Node.X-b, vp.Node.X+b
+			loY, hiY := vp.Node.Y-b, vp.Node.Y+b
+			if opt.UseDirection {
+				// The dangling wire points toward the partner: shrink the
+				// box behind the vpin to half depth.
+				switch vp.Dir {
+				case layout.DirEast:
+					loX = vp.Node.X - b/4
+				case layout.DirWest:
+					hiX = vp.Node.X + b/4
+				case layout.DirNorth:
+					loY = vp.Node.Y - b/4
+				case layout.DirSouth:
+					hiY = vp.Node.Y + b/4
+				}
+			}
+			cands := map[int]bool{} // candidate fragment IDs
+			for x := loX; x <= hiX; x++ {
+				for y := loY; y <= hiY; y++ {
+					for _, j := range buckets[key{x, y}] {
+						other := &sv.VPins[j]
+						if other.Frag == vp.Frag {
+							continue // same fragment: not a reconnection
+						}
+						cands[other.Frag] = true
+					}
+				}
+			}
+			totalList += len(cands)
+			if ps := partners[vp.Frag]; len(ps) > 0 {
+				withPartner++
+				hit := false
+				for p := range ps {
+					if cands[p] {
+						hit = true
+						break
+					}
+				}
+				if hit {
+					matched++
+				}
+			}
+		}
+		res.AvgListSize[b] = float64(totalList) / float64(len(sv.VPins))
+		if withPartner > 0 {
+			res.MatchInList[b] = float64(matched) / float64(withPartner)
+		}
+	}
+	return res
+}
+
+// SolutionSpaceLog10 estimates log10 of the number of candidate netlists
+// remaining after the attack, as E[LS]^#two-pin-nets (the paper's Sec. 2
+// footnote arithmetic): log10(LS^n) = n·log10(LS).
+func SolutionSpaceLog10(avgListSize float64, nets int) float64 {
+	if avgListSize <= 1 || nets <= 0 {
+		return 0
+	}
+	return float64(nets) * math.Log10(avgListSize)
+}

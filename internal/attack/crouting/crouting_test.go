@@ -1,0 +1,105 @@
+package crouting
+
+import (
+	"math"
+	"testing"
+
+	"splitmfg/internal/bench"
+	"splitmfg/internal/cell"
+	"splitmfg/internal/defense/correction"
+	"splitmfg/internal/layout"
+	"splitmfg/internal/netlist"
+)
+
+func buildSuperblueLike(t *testing.T) (*netlist.Netlist, *layout.Design) {
+	t.Helper()
+	nl, err := bench.Superblue("superblue18", 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := cell.NewNangate45Like()
+	util, _ := bench.SuperblueUtil("superblue18")
+	d, err := correction.BuildOriginal(nl, lib, correction.Options{UtilPercent: util, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl, d
+}
+
+func TestCroutingBasics(t *testing.T) {
+	nl, d := buildSuperblueLike(t)
+	sv, err := d.Split(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Attack(d, sv, nl, DefaultOptions())
+	if res.NumVPins != len(sv.VPins) {
+		t.Fatalf("vpins %d != %d", res.NumVPins, len(sv.VPins))
+	}
+	if res.NumVPins == 0 {
+		t.Skip("no vpins at this split for this seed")
+	}
+	// E[LS] must grow with the bounding box.
+	if res.AvgListSize[15] > res.AvgListSize[30] || res.AvgListSize[30] > res.AvgListSize[45] {
+		t.Fatalf("E[LS] not monotone: %v", res.AvgListSize)
+	}
+	// Match-in-list must also grow (or stay equal) with the box.
+	if res.MatchInList[15] > res.MatchInList[30]+1e-9 || res.MatchInList[30] > res.MatchInList[45]+1e-9 {
+		t.Fatalf("match-in-list not monotone: %v", res.MatchInList)
+	}
+}
+
+func TestCroutingEmptyView(t *testing.T) {
+	nl, d := buildSuperblueLike(t)
+	sv := &layout.SplitView{Layer: 4, ByRoute: map[int][]int{}}
+	res := Attack(d, sv, nl, DefaultOptions())
+	if res.NumVPins != 0 {
+		t.Fatal("vpins on empty view")
+	}
+}
+
+func TestCroutingCustomBoxes(t *testing.T) {
+	nl, d := buildSuperblueLike(t)
+	sv, err := d.Split(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Attack(d, sv, nl, Options{BBoxes: []int{5}})
+	if _, ok := res.AvgListSize[5]; !ok {
+		t.Fatal("custom bbox missing from result")
+	}
+	// Zero options default to the paper's three boxes.
+	res = Attack(d, sv, nl, Options{})
+	for _, b := range []int{15, 30, 45} {
+		if _, ok := res.AvgListSize[b]; !ok {
+			t.Fatalf("default bbox %d missing", b)
+		}
+	}
+}
+
+func TestDirectionFilterShrinksLists(t *testing.T) {
+	nl, d := buildSuperblueLike(t)
+	sv, err := d.Split(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sv.VPins) == 0 {
+		t.Skip("no vpins")
+	}
+	withDir := Attack(d, sv, nl, Options{BBoxes: []int{30}, UseDirection: true})
+	noDir := Attack(d, sv, nl, Options{BBoxes: []int{30}, UseDirection: false})
+	if withDir.AvgListSize[30] > noDir.AvgListSize[30]+1e-9 {
+		t.Fatalf("direction filter grew lists: %v vs %v", withDir.AvgListSize[30], noDir.AvgListSize[30])
+	}
+}
+
+func TestSolutionSpaceLog10(t *testing.T) {
+	// Paper footnote: 1.4^500 ≈ 1.16e73.
+	got := SolutionSpaceLog10(1.4, 500)
+	if math.Abs(got-73) > 1 {
+		t.Fatalf("log10(1.4^500) = %v, want ≈73", got)
+	}
+	if SolutionSpaceLog10(0.5, 100) != 0 || SolutionSpaceLog10(2, 0) != 0 {
+		t.Fatal("degenerate cases must be 0")
+	}
+}

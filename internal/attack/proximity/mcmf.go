@@ -1,0 +1,126 @@
+package proximity
+
+import "container/heap"
+
+// mcmf is a small min-cost max-flow solver (successive shortest paths with
+// Johnson potentials) used to solve the attacker's joint assignment of sink
+// fragments to driver fragments — the "network flow" in the network-flow
+// attack.
+type mcmf struct {
+	n     int
+	head  []int
+	to    []int
+	next  []int
+	cap   []int32
+	cost  []int64
+	edges int
+}
+
+func newMCMF(n int) *mcmf {
+	h := make([]int, n)
+	for i := range h {
+		h[i] = -1
+	}
+	return &mcmf{n: n, head: h}
+}
+
+// addEdge inserts a directed edge u->v and its residual twin, returning the
+// forward edge index.
+func (g *mcmf) addEdge(u, v int, capacity int32, cost int64) int {
+	id := g.edges
+	g.to = append(g.to, v)
+	g.cap = append(g.cap, capacity)
+	g.cost = append(g.cost, cost)
+	g.next = append(g.next, g.head[u])
+	g.head[u] = id
+	g.edges++
+	g.to = append(g.to, u)
+	g.cap = append(g.cap, 0)
+	g.cost = append(g.cost, -cost)
+	g.next = append(g.next, g.head[v])
+	g.head[v] = id + 1
+	g.edges++
+	return id
+}
+
+type mcmfItem struct {
+	node int
+	dist int64
+}
+
+type mcmfPQ []mcmfItem
+
+func (q mcmfPQ) Len() int            { return len(q) }
+func (q mcmfPQ) Less(a, b int) bool  { return q[a].dist < q[b].dist }
+func (q mcmfPQ) Swap(a, b int)       { q[a], q[b] = q[b], q[a] }
+func (q *mcmfPQ) Push(x interface{}) { *q = append(*q, x.(mcmfItem)) }
+func (q *mcmfPQ) Pop() interface{} {
+	old := *q
+	it := old[len(old)-1]
+	*q = old[:len(old)-1]
+	return it
+}
+
+// run pushes flow from s to t until exhaustion, returning total flow and
+// cost. All edge costs must be non-negative.
+func (g *mcmf) run(s, t int) (flow int32, cost int64) {
+	const inf = int64(1) << 62
+	pot := make([]int64, g.n)
+	dist := make([]int64, g.n)
+	prevEdge := make([]int, g.n)
+	inTree := make([]bool, g.n)
+	for {
+		for i := range dist {
+			dist[i] = inf
+			inTree[i] = false
+			prevEdge[i] = -1
+		}
+		dist[s] = 0
+		q := mcmfPQ{{s, 0}}
+		for len(q) > 0 {
+			it := heap.Pop(&q).(mcmfItem)
+			u := it.node
+			if inTree[u] {
+				continue
+			}
+			inTree[u] = true
+			for e := g.head[u]; e >= 0; e = g.next[e] {
+				if g.cap[e] <= 0 {
+					continue
+				}
+				v := g.to[e]
+				nd := dist[u] + g.cost[e] + pot[u] - pot[v]
+				if nd < dist[v] {
+					dist[v] = nd
+					prevEdge[v] = e
+					heap.Push(&q, mcmfItem{v, nd})
+				}
+			}
+		}
+		if dist[t] >= inf {
+			return flow, cost
+		}
+		for i := range pot {
+			if dist[i] < inf {
+				pot[i] += dist[i]
+			}
+		}
+		// Bottleneck along the path.
+		var push int32 = 1 << 30
+		for v := t; v != s; {
+			e := prevEdge[v]
+			if g.cap[e] < push {
+				push = g.cap[e]
+			}
+			v = g.to[e^1]
+		}
+		for v := t; v != s; {
+			e := prevEdge[v]
+			g.cap[e] -= push
+			g.cap[e^1] += push
+			cost += int64(push) * g.cost[e]
+			v = g.to[e^1]
+		}
+		flow += push
+	}
+}

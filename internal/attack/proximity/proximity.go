@@ -1,0 +1,341 @@
+// Package proximity implements a network-flow proximity attack in the
+// style of Wang et al., "The cat and mouse in split manufacturing"
+// (DAC 2016) — the attack the paper uses on ISCAS-85 layouts.
+//
+// Given the FEOL view of a split layout (layout.SplitView), the attacker
+// must reconnect every pure-sink fragment to some driver fragment. The
+// attack exploits five published hints:
+//
+//  1. physical proximity — gates to be connected are placed close, so the
+//     nearest compatible driver is the likeliest partner;
+//  2. avoidance of combinational loops — assignments that would close a
+//     combinational cycle in the recovered netlist are excluded;
+//  3. load-capacitance constraints — a driver only accepts as many sinks
+//     as its drive strength supports;
+//  4. direction of dangling wires — the open FEOL stub points toward its
+//     BEOL partner;
+//  5. timing constraints — pairings that would create paths far deeper
+//     than the design's level budget are penalized.
+//
+// The joint assignment is solved as a min-cost max-flow over a bipartite
+// candidate graph (k-nearest drivers per sink), with loop avoidance
+// enforced greedily in flow order, exactly the engineering shape of the
+// published attack.
+package proximity
+
+import (
+	"sort"
+
+	"splitmfg/internal/geom"
+	"splitmfg/internal/layout"
+	"splitmfg/internal/metrics"
+	"splitmfg/internal/netlist"
+)
+
+// Options tunes the attack.
+type Options struct {
+	Candidates   int     // drivers considered per sink (k nearest); 0 = 24
+	DirPenalty   float64 // cost multiplier when dangling directions disagree
+	LoadAware    bool    // enforce drive-strength fanout capacities
+	LoopAware    bool    // forbid combinational loops
+	TimingAware  bool    // penalize level-budget violations
+	UseDirection bool    // use dangling-wire direction hint
+}
+
+// DefaultOptions enables all five hints, as the paper assumes.
+func DefaultOptions() Options {
+	return Options{
+		Candidates:   24,
+		DirPenalty:   4.0,
+		LoadAware:    true,
+		LoopAware:    true,
+		TimingAware:  true,
+		UseDirection: true,
+	}
+}
+
+// Result is the attack outcome.
+type Result struct {
+	Assignment metrics.Assignment
+	Candidates int     // total candidate edges considered
+	AvgCands   float64 // candidates per sink
+}
+
+// Attack recovers an assignment of sink fragments to driver fragments for
+// the given split view. ref-free: only FEOL-visible information is used.
+func Attack(d *layout.Design, sv *layout.SplitView, opt Options) Result {
+	if opt.Candidates == 0 {
+		opt.Candidates = 24
+	}
+	// Candidate drivers are fragments that both contain a source terminal
+	// and have an open via to the BEOL; fragments without vpins are
+	// complete nets that need no reconnection.
+	var drivers []int
+	for _, fid := range sv.DriverFrags() {
+		if len(sv.Frags[fid].VPins) > 0 {
+			drivers = append(drivers, fid)
+		}
+	}
+	sinks := sv.SinkFrags()
+	res := Result{Assignment: metrics.Assignment{}}
+	if len(drivers) == 0 || len(sinks) == 0 {
+		return res
+	}
+
+	type dinfo struct {
+		fid    int
+		pt     geom.Point
+		gate   int // -1 for PI
+		capRem int // remaining sink slots (load constraint)
+		dirs   []layout.Direction
+	}
+	dinfos := make([]dinfo, 0, len(drivers))
+	for _, fid := range drivers {
+		f := &sv.Frags[fid]
+		// The anchor is the fragment's dangling-wire position (vpin
+		// centroid): the missing BEOL piece of a net is short, so the open
+		// via locations of true partners sit close together — the sharpest
+		// published proximity signal.
+		di := dinfo{fid: fid, pt: sv.FragCenter(d, fid), gate: -1, capRem: 1 << 30}
+		for _, p := range f.Pins {
+			if p.Role == layout.RoleDriver {
+				di.gate = p.Gate
+			}
+		}
+		if opt.LoadAware && di.gate >= 0 {
+			m := d.Masters[di.gate]
+			// Slots = how many typical input pins the driver can add on
+			// top of the load it already drives within its own fragment.
+			known := len(f.SinkPins())
+			slots := int(m.MaxCap/2.0) - known
+			if slots > 2+2*m.Drive {
+				slots = 2 + 2*m.Drive // realistic fanout ceiling per drive
+			}
+			if slots < 1 {
+				slots = 1
+			}
+			di.capRem = slots
+		}
+		for _, vid := range f.VPins {
+			di.dirs = append(di.dirs, sv.VPins[vid].Dir)
+		}
+		dinfos = append(dinfos, di)
+	}
+
+	// The FEOL-known netlist: connections inside driver fragments are
+	// known; everything else is open. Loop checks run against this plus
+	// the assignments made so far.
+	known := d.Netlist.Clone()
+	for _, fid := range sinks {
+		for _, sp := range sv.Frags[fid].SinkPins() {
+			// Detach unknown sinks: point them at a fresh dummy PI so the
+			// known netlist contains no assumption about them.
+			if sp.Role == layout.RoleSink {
+				dummy := known.AddPI("open_" + known.Gates[sp.Ref.Gate].Name)
+				_ = known.RewirePin(sp.Ref.Gate, sp.Ref.Pin, dummy)
+			}
+		}
+	}
+	levels, _ := known.Levels()
+	maxLevel := 0
+	for _, l := range levels {
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+
+	// Candidate edges: k nearest drivers per sink with hint-weighted costs.
+	type cand struct {
+		sink, didx int
+		cost       float64
+	}
+	var all []cand
+	for _, sfid := range sinks {
+		spt := sv.FragCenter(d, sfid)
+		sdirs := fragDirs(sv, sfid)
+		type scored struct {
+			didx int
+			cost float64
+		}
+		var sc []scored
+		for di := range dinfos {
+			dd := &dinfos[di]
+			cost := float64(spt.Manhattan(dd.pt)) + 1
+			if opt.UseDirection {
+				if !dirsCompatible(dd.dirs, dd.pt, spt) {
+					cost *= opt.DirPenalty
+				}
+				if !dirsCompatible(sdirs, spt, dd.pt) {
+					cost *= opt.DirPenalty
+				}
+			}
+			if opt.TimingAware && dd.gate >= 0 {
+				// Deep-driver feeding deep-sink beyond the level budget is
+				// suspicious under a fixed clock.
+				sg := firstSinkGate(sv, sfid)
+				if sg >= 0 && levels != nil && levels[dd.gate]+1+(maxLevel-levels[sg]) > maxLevel+4 {
+					cost *= 1.3
+				}
+			}
+			sc = append(sc, scored{di, cost})
+		}
+		sort.Slice(sc, func(a, b int) bool { return sc[a].cost < sc[b].cost })
+		if len(sc) > opt.Candidates {
+			sc = sc[:opt.Candidates]
+		}
+		for _, s := range sc {
+			all = append(all, cand{sfid, s.didx, s.cost})
+		}
+		res.Candidates += len(sc)
+	}
+	res.AvgCands = float64(res.Candidates) / float64(len(sinks))
+
+	// Joint assignment via min-cost max-flow: source -> driver (capacity =
+	// load slots), driver -> sink candidate edges (capacity 1, proximity
+	// cost), sink -> target (capacity 1). Statically loop-infeasible
+	// candidates never enter the graph.
+	sinkIdx := map[int]int{}
+	for i, sfid := range sinks {
+		sinkIdx[sfid] = i
+	}
+	S := 0
+	T := 1 + len(dinfos) + len(sinks)
+	g := newMCMF(T + 1)
+	for di := range dinfos {
+		capSlots := int32(dinfos[di].capRem)
+		if !opt.LoadAware {
+			capSlots = int32(len(sinks))
+		}
+		g.addEdge(S, 1+di, capSlots, 0)
+	}
+	type edgeRef struct {
+		id   int
+		sink int
+		didx int
+		cost float64
+	}
+	var erefs []edgeRef
+	for _, c := range all {
+		dd := &dinfos[c.didx]
+		if opt.LoopAware && dd.gate >= 0 {
+			sg := firstSinkGate(sv, c.sink)
+			if sg >= 0 && wouldLoop(known, dd.gate, sg) {
+				continue // statically infeasible
+			}
+		}
+		id := g.addEdge(1+c.didx, 1+len(dinfos)+sinkIdx[c.sink], 1, int64(c.cost))
+		erefs = append(erefs, edgeRef{id, c.sink, c.didx, c.cost})
+	}
+	for i := range sinks {
+		g.addEdge(1+len(dinfos)+i, T, 1, 0)
+	}
+	g.run(S, T)
+
+	// Extract the flow assignment, then enforce dynamic loop-freedom in
+	// cost order: cheap (confident) assignments commit first; any
+	// assignment that would close a loop against the committed prefix is
+	// re-matched greedily to its next-best loop-free candidate.
+	sort.Slice(erefs, func(a, b int) bool {
+		if erefs[a].cost != erefs[b].cost {
+			return erefs[a].cost < erefs[b].cost
+		}
+		return erefs[a].sink < erefs[b].sink
+	})
+	assigned := map[int]bool{}
+	commit := func(sink, didx int) {
+		assigned[sink] = true
+		res.Assignment[sink] = dinfos[didx].fid
+		if dinfos[didx].gate >= 0 {
+			commitKnown(known, sv, sink, dinfos[didx].gate)
+		}
+	}
+	feasible := func(sink, didx int) bool {
+		if !opt.LoopAware || dinfos[didx].gate < 0 {
+			return true
+		}
+		sg := firstSinkGate(sv, sink)
+		return sg < 0 || !wouldLoop(known, dinfos[didx].gate, sg)
+	}
+	for _, er := range erefs {
+		if g.cap[er.id] != 0 || assigned[er.sink] {
+			continue // not used by the flow, or sink already committed
+		}
+		if feasible(er.sink, er.didx) {
+			commit(er.sink, er.didx)
+		}
+	}
+	// Complete the assignment for any sink the flow or loop filter left
+	// open, in candidate-cost order.
+	for _, er := range erefs {
+		if assigned[er.sink] {
+			continue
+		}
+		if feasible(er.sink, er.didx) {
+			commit(er.sink, er.didx)
+		}
+	}
+	return res
+}
+
+// fragDirs returns the dangling directions of a fragment's vpins.
+func fragDirs(sv *layout.SplitView, fid int) []layout.Direction {
+	var dirs []layout.Direction
+	for _, vid := range sv.Frags[fid].VPins {
+		dirs = append(dirs, sv.VPins[vid].Dir)
+	}
+	return dirs
+}
+
+// dirsCompatible reports whether any dangling direction at `from` points
+// roughly toward `to` (or no direction information exists).
+func dirsCompatible(dirs []layout.Direction, from, to geom.Point) bool {
+	if len(dirs) == 0 {
+		return true
+	}
+	any := false
+	for _, d := range dirs {
+		switch d {
+		case layout.DirNone:
+			return true
+		case layout.DirEast:
+			any = any || to.X >= from.X
+		case layout.DirWest:
+			any = any || to.X <= from.X
+		case layout.DirNorth:
+			any = any || to.Y >= from.Y
+		case layout.DirSouth:
+			any = any || to.Y <= from.Y
+		}
+	}
+	return any
+}
+
+// firstSinkGate returns the gate of the fragment's first cell sink, or -1.
+func firstSinkGate(sv *layout.SplitView, fid int) int {
+	for _, p := range sv.Frags[fid].SinkPins() {
+		if p.Role == layout.RoleSink {
+			return p.Ref.Gate
+		}
+	}
+	return -1
+}
+
+// wouldLoop reports whether driving sinkGate from driverGate closes a
+// combinational cycle in the attacker's current netlist.
+func wouldLoop(known *netlist.Netlist, driverGate, sinkGate int) bool {
+	if driverGate == sinkGate {
+		return true
+	}
+	return known.PathExists(sinkGate, driverGate)
+}
+
+// commitKnown applies an assignment to the attacker's working netlist so
+// subsequent loop checks see it.
+func commitKnown(known *netlist.Netlist, sv *layout.SplitView, sinkFrag, driverGate int) {
+	net := known.Gates[driverGate].Out
+	for _, sp := range sv.Frags[sinkFrag].SinkPins() {
+		if sp.Role == layout.RoleSink {
+			_ = known.RewirePin(sp.Ref.Gate, sp.Ref.Pin, net)
+		}
+	}
+}

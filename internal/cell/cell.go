@@ -1,0 +1,249 @@
+// Package cell models the standard-cell library the flow builds on. It is a
+// self-contained stand-in for the Nangate 45nm Open Cell Library used in the
+// paper: cell footprints snap to a 190nm-site/1400nm-row grid, and the
+// timing/power model is the usual linear-delay abstraction (intrinsic delay
+// plus drive resistance times load capacitance).
+//
+// The package also defines the paper's two custom cell families:
+//
+//   - Correction cells: 2-input/2-output cells whose pins live in a high
+//     metal layer (M6 or M8). Arc C->Z implements the erroneous connection
+//     during initial place-and-route; the true arcs C->Y and D->Z are
+//     re-routed in the BEOL. They inherit BUF_X2 power/timing, occupy no
+//     device-layer area, and may overlap standard cells.
+//   - Naive lifting cells: same lifting machinery without the misleading
+//     arc, used for the paper's naive-lifting baseline.
+package cell
+
+import (
+	"fmt"
+
+	"splitmfg/internal/netlist"
+)
+
+// Technology constants for the 45nm-class library (nanometers).
+const (
+	SiteWidth = 190  // placement site width
+	RowHeight = 1400 // standard-cell row height
+	NumLayers = 10   // metal layers M1..M10
+)
+
+// Master describes one library cell.
+type Master struct {
+	Name      string
+	Type      netlist.GateType
+	Inputs    int     // fan-in count
+	Drive     int     // drive strength (X1, X2, X4, ...)
+	WidthNM   int     // footprint width; height is always RowHeight
+	InputCap  float64 // input pin capacitance, fF
+	MaxCap    float64 // maximum drivable load, fF
+	Intrinsic float64 // intrinsic delay, ps
+	DriveRes  float64 // delay slope, ps per fF of load
+	Leakage   float64 // leakage power, nW
+	SwitchE   float64 // internal energy per output transition, fJ
+
+	// PinLayer is 1 (M1) for standard cells; correction/lifting cells put
+	// all pins in a high layer (6 or 8) so that their wiring is BEOL-only.
+	PinLayer int
+	// Overlappable marks cells that do not occupy the device layer and may
+	// overlap standard cells (true for correction/lifting cells).
+	Overlappable bool
+}
+
+// String returns the library name of the master.
+func (m *Master) String() string { return m.Name }
+
+// Delay returns the pin-to-pin delay in ps for the given load in fF.
+func (m *Master) Delay(loadFF float64) float64 {
+	return m.Intrinsic + m.DriveRes*loadFF
+}
+
+// Library is a collection of masters plus technology data.
+type Library struct {
+	Name    string
+	Masters map[string]*Master
+
+	// WireCapPerUM is wire capacitance per micron per layer (fF/µm),
+	// indexed by layer 1..NumLayers; higher layers are wider/faster.
+	WireCapPerUM [NumLayers + 1]float64
+	// WireResPerUM is wire resistance per micron per layer (mΩ-scale in ps
+	// units folded into the delay model), indexed likewise.
+	WireResPerUM [NumLayers + 1]float64
+}
+
+// NewNangate45Like constructs the default library. Values are realistic in
+// relative terms (X2 drives twice the load of X1, NAND is faster than XOR,
+// higher metal layers have lower RC), which is all the paper's
+// percentage-based results depend on.
+func NewNangate45Like() *Library {
+	lib := &Library{Name: "nangate45like", Masters: map[string]*Master{}}
+	add := func(m *Master) { lib.Masters[m.Name] = m }
+
+	type proto struct {
+		t         netlist.GateType
+		base      string
+		inputs    int
+		width     int     // X1 width in sites
+		inCap     float64 // fF
+		intrinsic float64 // ps
+		res       float64 // ps/fF
+		leak      float64 // nW
+		energy    float64 // fJ
+	}
+	protos := []proto{
+		{netlist.Inv, "INV", 1, 2, 1.6, 8, 5.0, 10, 0.4},
+		{netlist.Buf, "BUF", 1, 3, 1.7, 16, 4.5, 14, 0.6},
+		{netlist.And, "AND2", 2, 4, 1.8, 22, 5.5, 22, 0.9},
+		{netlist.And, "AND3", 3, 5, 1.9, 26, 6.0, 28, 1.1},
+		{netlist.And, "AND4", 4, 6, 2.0, 30, 6.5, 34, 1.3},
+		{netlist.Nand, "NAND2", 2, 3, 1.9, 12, 5.2, 16, 0.7},
+		{netlist.Nand, "NAND3", 3, 4, 2.0, 16, 5.8, 22, 0.9},
+		{netlist.Nand, "NAND4", 4, 5, 2.1, 20, 6.4, 28, 1.1},
+		{netlist.Or, "OR2", 2, 4, 1.8, 24, 5.5, 22, 0.9},
+		{netlist.Or, "OR3", 3, 5, 1.9, 28, 6.0, 28, 1.1},
+		{netlist.Or, "OR4", 4, 6, 2.0, 32, 6.5, 34, 1.3},
+		{netlist.Nor, "NOR2", 2, 3, 1.9, 14, 5.4, 16, 0.7},
+		{netlist.Nor, "NOR3", 3, 4, 2.0, 18, 6.0, 22, 0.9},
+		{netlist.Nor, "NOR4", 4, 5, 2.1, 22, 6.6, 28, 1.1},
+		{netlist.Xor, "XOR2", 2, 5, 2.2, 30, 6.8, 30, 1.4},
+		{netlist.Xnor, "XNOR2", 2, 5, 2.2, 30, 6.8, 30, 1.4},
+		{netlist.Mux, "MUX2", 3, 6, 2.1, 28, 6.4, 32, 1.3},
+		{netlist.DFF, "DFF", 1, 9, 1.8, 60, 7.0, 60, 2.4},
+	}
+	for _, p := range protos {
+		for _, drive := range []int{1, 2, 4, 8} {
+			scale := float64(drive)
+			add(&Master{
+				Name:      fmt.Sprintf("%s_X%d", p.base, drive),
+				Type:      p.t,
+				Inputs:    p.inputs,
+				Drive:     drive,
+				WidthNM:   p.width * SiteWidth * (1 + drive/3), // X4/X8 wider
+				InputCap:  p.inCap * (1 + 0.15*(scale-1)),
+				MaxCap:    20 * scale,
+				Intrinsic: p.intrinsic * (1 + 0.1*(scale-1)),
+				DriveRes:  p.res / scale,
+				Leakage:   p.leak * scale,
+				SwitchE:   p.energy * scale,
+				PinLayer:  1,
+			})
+		}
+	}
+	// Correction cells (paper Sec. 4): 2-in/2-out, pins in M6 or M8,
+	// BUF_X2-equivalent electricals, zero device-layer footprint (they
+	// still have a nominal width used only by the overlap legalizer that
+	// keeps correction cells from overlapping each other).
+	buf2 := lib.Masters["BUF_X2"]
+	for _, layer := range []int{6, 8} {
+		add(&Master{
+			Name:         fmt.Sprintf("CORR_M%d", layer),
+			Type:         netlist.Or, // modeled as 2-input-2-output OR
+			Inputs:       2,
+			Drive:        2,
+			WidthNM:      4 * SiteWidth,
+			InputCap:     buf2.InputCap,
+			MaxCap:       buf2.MaxCap,
+			Intrinsic:    buf2.Intrinsic,
+			DriveRes:     buf2.DriveRes,
+			Leakage:      buf2.Leakage,
+			SwitchE:      buf2.SwitchE,
+			PinLayer:     layer,
+			Overlappable: true,
+		})
+		add(&Master{
+			Name:         fmt.Sprintf("LIFT_M%d", layer),
+			Type:         netlist.Buf,
+			Inputs:       1,
+			Drive:        2,
+			WidthNM:      2 * SiteWidth,
+			InputCap:     buf2.InputCap,
+			MaxCap:       buf2.MaxCap,
+			Intrinsic:    buf2.Intrinsic,
+			DriveRes:     buf2.DriveRes,
+			Leakage:      buf2.Leakage,
+			SwitchE:      buf2.SwitchE,
+			PinLayer:     layer,
+			Overlappable: true,
+		})
+	}
+	// Per-layer wire RC: lower layers are thin (high resistance); upper
+	// layers are wide (much lower resistance, slightly higher capacitance
+	// from the wider plate/fringe).
+	for l := 1; l <= NumLayers; l++ {
+		f := float64(l-1) / float64(NumLayers-1) // 0 at M1, 1 at M10
+		lib.WireCapPerUM[l] = 0.20 + 0.03*f      // fF/µm
+		lib.WireResPerUM[l] = 8.0 - 6.5*f        // ps-per-fF·µm scale
+	}
+	return lib
+}
+
+// MasterFor returns the smallest master implementing the given gate type
+// and fan-in at the requested drive strength, or an error.
+func (lib *Library) MasterFor(t netlist.GateType, inputs, drive int) (*Master, error) {
+	var name string
+	switch t {
+	case netlist.Inv:
+		name = fmt.Sprintf("INV_X%d", drive)
+	case netlist.Buf:
+		name = fmt.Sprintf("BUF_X%d", drive)
+	case netlist.Xor:
+		name = fmt.Sprintf("XOR2_X%d", drive)
+	case netlist.Xnor:
+		name = fmt.Sprintf("XNOR2_X%d", drive)
+	case netlist.Mux:
+		name = fmt.Sprintf("MUX2_X%d", drive)
+	case netlist.DFF:
+		name = fmt.Sprintf("DFF_X%d", drive)
+	default:
+		name = fmt.Sprintf("%s%d_X%d", t, inputs, drive)
+	}
+	m, ok := lib.Masters[name]
+	if !ok {
+		return nil, fmt.Errorf("cell: no master %q in library %s", name, lib.Name)
+	}
+	return m, nil
+}
+
+// Correction returns the correction-cell master for the given pin layer.
+func (lib *Library) Correction(layer int) (*Master, error) {
+	m, ok := lib.Masters[fmt.Sprintf("CORR_M%d", layer)]
+	if !ok {
+		return nil, fmt.Errorf("cell: no correction cell for layer M%d", layer)
+	}
+	return m, nil
+}
+
+// Lifting returns the naive-lifting-cell master for the given pin layer.
+func (lib *Library) Lifting(layer int) (*Master, error) {
+	m, ok := lib.Masters[fmt.Sprintf("LIFT_M%d", layer)]
+	if !ok {
+		return nil, fmt.Errorf("cell: no lifting cell for layer M%d", layer)
+	}
+	return m, nil
+}
+
+// Bind chooses a master for every gate of a netlist. Drive strengths are
+// assigned by fan-out: gates driving many sinks get upsized, mirroring what
+// a commercial flow's optimizer would do (and producing the load/size hints
+// the proximity attack exploits).
+func (lib *Library) Bind(nl *netlist.Netlist) ([]*Master, error) {
+	masters := make([]*Master, nl.NumGates())
+	for _, g := range nl.Gates {
+		fo := nl.Nets[g.Out].FanoutCount()
+		drive := 1
+		switch {
+		case fo > 12:
+			drive = 8
+		case fo > 6:
+			drive = 4
+		case fo > 3:
+			drive = 2
+		}
+		m, err := lib.MasterFor(g.Type, len(g.Fanin), drive)
+		if err != nil {
+			return nil, fmt.Errorf("cell: gate %q: %v", g.Name, err)
+		}
+		masters[g.ID] = m
+	}
+	return masters, nil
+}

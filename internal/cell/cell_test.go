@@ -1,0 +1,144 @@
+package cell
+
+import (
+	"testing"
+
+	"splitmfg/internal/netlist"
+)
+
+func TestLibraryCompleteness(t *testing.T) {
+	lib := NewNangate45Like()
+	// Every combinational type/fan-in/drive combination must resolve.
+	types := []netlist.GateType{netlist.And, netlist.Or, netlist.Nand, netlist.Nor}
+	for _, gt := range types {
+		for _, in := range []int{2, 3, 4} {
+			for _, d := range []int{1, 2, 4, 8} {
+				if _, err := lib.MasterFor(gt, in, d); err != nil {
+					t.Errorf("missing %v/%d/X%d: %v", gt, in, d, err)
+				}
+			}
+		}
+	}
+	for _, gt := range []netlist.GateType{netlist.Inv, netlist.Buf, netlist.Xor, netlist.Xnor, netlist.Mux, netlist.DFF} {
+		if _, err := lib.MasterFor(gt, gt.MinInputs(), 1); err != nil {
+			t.Errorf("missing %v: %v", gt, err)
+		}
+	}
+	if _, err := lib.MasterFor(netlist.And, 2, 3); err == nil {
+		t.Error("X3 should not exist")
+	}
+}
+
+func TestDriveScaling(t *testing.T) {
+	lib := NewNangate45Like()
+	x1, _ := lib.MasterFor(netlist.Nand, 2, 1)
+	x4, _ := lib.MasterFor(netlist.Nand, 2, 4)
+	if x4.MaxCap <= x1.MaxCap {
+		t.Error("X4 should drive more load than X1")
+	}
+	if x4.DriveRes >= x1.DriveRes {
+		t.Error("X4 should have lower drive resistance")
+	}
+	if x4.Leakage <= x1.Leakage {
+		t.Error("X4 should leak more")
+	}
+	if x4.WidthNM <= x1.WidthNM {
+		t.Error("X4 should be wider")
+	}
+	// Linear delay model sanity: more load, more delay.
+	if x1.Delay(10) <= x1.Delay(1) {
+		t.Error("delay must grow with load")
+	}
+}
+
+func TestCorrectionAndLiftingCells(t *testing.T) {
+	lib := NewNangate45Like()
+	for _, layer := range []int{6, 8} {
+		c, err := lib.Correction(layer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.PinLayer != layer || !c.Overlappable || c.Inputs != 2 {
+			t.Fatalf("correction cell M%d malformed: %+v", layer, c)
+		}
+		l, err := lib.Lifting(layer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.PinLayer != layer || !l.Overlappable || l.Inputs != 1 {
+			t.Fatalf("lifting cell M%d malformed: %+v", layer, l)
+		}
+		// Correction cells borrow BUF_X2 electricals (paper Sec. 4).
+		buf2 := lib.Masters["BUF_X2"]
+		if c.Intrinsic != buf2.Intrinsic || c.DriveRes != buf2.DriveRes {
+			t.Error("correction cell electricals should match BUF_X2")
+		}
+	}
+	if _, err := lib.Correction(3); err == nil {
+		t.Error("no correction cell should exist for M3")
+	}
+}
+
+func TestWireRCMonotone(t *testing.T) {
+	lib := NewNangate45Like()
+	for l := 2; l <= NumLayers; l++ {
+		if lib.WireCapPerUM[l] < lib.WireCapPerUM[l-1] {
+			t.Errorf("cap should not fall with layer (wider wires): M%d=%v M%d=%v", l-1, lib.WireCapPerUM[l-1], l, lib.WireCapPerUM[l])
+		}
+		if lib.WireResPerUM[l] >= lib.WireResPerUM[l-1] {
+			t.Errorf("res should fall with layer")
+		}
+	}
+	if lib.WireCapPerUM[1] <= 0 || lib.WireResPerUM[NumLayers] <= 0 {
+		t.Error("RC must stay positive")
+	}
+}
+
+func TestBindUpsizesHighFanout(t *testing.T) {
+	lib := NewNangate45Like()
+	nl := netlist.New("fo")
+	a := nl.AddPI("a")
+	src := nl.AddGate("src", netlist.Buf, a)
+	srcOut := nl.Gates[src].Out
+	for i := 0; i < 8; i++ {
+		g := nl.AddGate("s"+string(rune('a'+i)), netlist.Inv, srcOut)
+		nl.AddPO("y"+string(rune('a'+i)), nl.Gates[g].Out)
+	}
+	masters, err := lib.Bind(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if masters[src].Drive < 4 {
+		t.Errorf("8-fanout gate bound to X%d, want >= X4", masters[src].Drive)
+	}
+	for _, g := range nl.Gates[1:] {
+		if masters[g.ID].Drive != 1 {
+			t.Errorf("low-fanout gate %s bound to X%d", g.Name, masters[g.ID].Drive)
+		}
+	}
+}
+
+func TestBindAllTypes(t *testing.T) {
+	lib := NewNangate45Like()
+	nl := netlist.New("all")
+	a := nl.AddPI("a")
+	b := nl.AddPI("b")
+	s := nl.AddPI("s")
+	g1 := nl.AddGate("g1", netlist.Nand, a, b)
+	g2 := nl.AddGate("g2", netlist.Xor, nl.Gates[g1].Out, b)
+	g3 := nl.AddGate("g3", netlist.Mux, s, nl.Gates[g1].Out, nl.Gates[g2].Out)
+	g4 := nl.AddGate("g4", netlist.DFF, nl.Gates[g3].Out)
+	nl.AddPO("q", nl.Gates[g4].Out)
+	masters, err := lib.Bind(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(masters) != 4 {
+		t.Fatalf("len = %d", len(masters))
+	}
+	for i, g := range nl.Gates {
+		if masters[i].Type != g.Type {
+			t.Errorf("gate %s bound to wrong type %v", g.Name, masters[i].Type)
+		}
+	}
+}

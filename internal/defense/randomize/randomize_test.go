@@ -1,0 +1,160 @@
+package randomize
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"splitmfg/internal/bench"
+	"splitmfg/internal/sim"
+)
+
+func TestRandomizeReachesHighOER(t *testing.T) {
+	nl, err := bench.ISCAS85("c880")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	res, err := Randomize(nl, rng, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OER < 0.95 {
+		t.Fatalf("OER = %.3f after %d swaps, want ≈1", res.OER, len(res.Swaps))
+	}
+	if len(res.Swaps) == 0 {
+		t.Fatal("no swaps recorded")
+	}
+	if res.Erroneous.HasCombLoop() {
+		t.Fatal("loop in erroneous netlist")
+	}
+	// Gate/net counts unchanged (swaps only rewire).
+	if res.Erroneous.NumGates() != nl.NumGates() || res.Erroneous.NumNets() != nl.NumNets() {
+		t.Fatal("randomization changed netlist size")
+	}
+}
+
+func TestProtectedPinsUnique(t *testing.T) {
+	nl, _ := bench.ISCAS85("c432")
+	rng := rand.New(rand.NewSource(2))
+	res, err := Randomize(nl, rng, Options{MaxSwaps: 20, TargetOER: 2 /*unreachable: use all swaps*/})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, s := range res.Swaps {
+		for _, p := range []struct{ g, pin int }{{s.A.Gate, s.A.Pin}, {s.B.Gate, s.B.Pin}} {
+			k := string(rune(p.g)) + ":" + string(rune(p.pin))
+			if seen[k] {
+				t.Fatal("pin swapped twice")
+			}
+			seen[k] = true
+		}
+	}
+	if len(res.Protected) != 2*len(res.Swaps) {
+		t.Fatalf("protected=%d swaps=%d", len(res.Protected), len(res.Swaps))
+	}
+}
+
+func TestRestoreRecoversOriginal(t *testing.T) {
+	nl, _ := bench.ISCAS85("c1355")
+	rng := rand.New(rand.NewSource(3))
+	res, err := Randomize(nl, rng, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Erroneous.SameStructure(nl) {
+		t.Fatal("erroneous equals original")
+	}
+	if err := Restore(res.Erroneous, res.Swaps); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Erroneous.SameStructure(nl) {
+		t.Fatal("restore did not recover the original structure")
+	}
+}
+
+func TestErroneousDiffersFunctionally(t *testing.T) {
+	nl, _ := bench.ISCAS85("c432")
+	rng := rand.New(rand.NewSource(4))
+	res, err := Randomize(nl, rng, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd, err := sim.HD(nl, res.Erroneous, rng, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hd <= 0 {
+		t.Fatal("erroneous netlist functionally identical")
+	}
+}
+
+func TestMaxSwapsRespected(t *testing.T) {
+	nl, _ := bench.ISCAS85("c432")
+	rng := rand.New(rand.NewSource(5))
+	res, err := Randomize(nl, rng, Options{MaxSwaps: 3, TargetOER: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Swaps) > 3 {
+		t.Fatalf("swaps = %d > 3", len(res.Swaps))
+	}
+}
+
+func TestRejectsCyclicInput(t *testing.T) {
+	nl, _ := bench.ISCAS85("c432")
+	// Manufacture a cycle.
+	g0 := nl.Gates[0]
+	last := nl.Gates[len(nl.Gates)-1]
+	if !nl.PathExists(g0.ID, last.ID) {
+		// find some reachable pair
+		for _, g := range nl.Gates {
+			if nl.PathExists(g0.ID, g.ID) && len(g.Fanin) > 0 {
+				last = g
+				break
+			}
+		}
+	}
+	_ = nl.RewirePin(g0.ID, 0, last.Out)
+	if !nl.HasCombLoop() {
+		t.Skip("could not create loop for this seed")
+	}
+	rng := rand.New(rand.NewSource(6))
+	if _, err := Randomize(nl, rng, Options{}); err == nil {
+		t.Fatal("cyclic input accepted")
+	}
+}
+
+func TestPropertyRandomizeInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nl, err := bench.Generate(bench.Spec{
+			Name: "p", PIs: 8, POs: 4, Gates: 60, Seed: seed, Locality: 0.7,
+		})
+		if err != nil {
+			return false
+		}
+		res, err := Randomize(nl, rng, Options{MaxSwaps: 10, PatternWords: 8})
+		if err != nil {
+			return false
+		}
+		if res.Erroneous.Validate() != nil || res.Erroneous.HasCombLoop() {
+			return false
+		}
+		// Per-net sink counts are preserved under swaps.
+		for id, n := range nl.Nets {
+			if n.FanoutCount() != res.Erroneous.Nets[id].FanoutCount() {
+				return false
+			}
+		}
+		// Restore is exact.
+		if Restore(res.Erroneous, res.Swaps) != nil {
+			return false
+		}
+		return res.Erroneous.SameStructure(nl)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

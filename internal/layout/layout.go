@@ -1,0 +1,262 @@
+// Package layout composes a netlist, a placement, and a router into a full
+// physical design, and implements the split-manufacturing view of it:
+// splitting the stack after a chosen metal layer yields the FEOL fragments,
+// the virtual pins (vpins — via locations where nets cross from the split
+// layer into the BEOL), and the dangling-wire directions that the paper's
+// attacks consume.
+package layout
+
+import (
+	"fmt"
+
+	"splitmfg/internal/cell"
+	"splitmfg/internal/geom"
+	"splitmfg/internal/netlist"
+	"splitmfg/internal/place"
+	"splitmfg/internal/route"
+)
+
+// PinRole tags what a routed terminal is, so the split view can identify
+// driver-side and sink-side fragments.
+type PinRole int
+
+// Pin roles.
+const (
+	RoleDriver  PinRole = iota // output pin of a standard cell
+	RoleSink                   // input pin of a standard cell
+	RolePI                     // primary-input pad
+	RolePO                     // primary-output pad
+	RoleCorrIn                 // correction/lifting cell input (C or D), BEOL layer
+	RoleCorrOut                // correction/lifting cell output (Y or Z), BEOL layer
+)
+
+// TaggedPin is a routing terminal plus design identity.
+type TaggedPin struct {
+	route.Pin
+	Role PinRole
+	Gate int            // gate ID for driver/sink roles; extra-cell ID for corr roles; -1 otherwise
+	Ref  netlist.PinRef // sink pin reference for RoleSink
+	PO   int            // PO index for RolePO, else -1
+}
+
+// Extra is an auxiliary cell that is not part of the logical netlist:
+// correction cells and naive-lifting cells. They occupy no device-layer
+// area and may overlap standard cells, but not each other.
+type Extra struct {
+	ID     int
+	Master *cell.Master
+	Loc    geom.Point // lower-left
+}
+
+// Center returns the extra cell's pin location.
+func (e Extra) Center() geom.Point {
+	return geom.Point{X: e.Loc.X + e.Master.WidthNM/2, Y: e.Loc.Y + cell.RowHeight/2}
+}
+
+// Design is a placed-and-routed design plus the metadata needed for split
+// analysis.
+type Design struct {
+	Netlist   *netlist.Netlist
+	Masters   []*cell.Master
+	Placement *place.Placement
+	Grid      route.Grid
+	Router    *route.Router
+	Extras    []Extra
+
+	// Pins maps route ID -> tagged terminals of that routed entity.
+	Pins map[int][]TaggedPin
+	// NetOf maps route ID -> netlist net ID (-1 for synthetic BEOL wires).
+	NetOf map[int]int
+}
+
+// NewDesign builds an unrouted design over the placement's die. The gcell
+// pitch adapts to the die so that small ISCAS-class dies still get a
+// meaningful routing grid (~80 gcells across) while huge dies cap at the
+// default pitch.
+func NewDesign(nl *netlist.Netlist, masters []*cell.Master, p *place.Placement, ropt route.Options) *Design {
+	gc := geom.Clamp(p.Die.W()/80/10*10, 560, route.DefaultGCellNM)
+	grid := route.NewGrid(p.Die, gc, cell.NumLayers)
+	return &Design{
+		Netlist:   nl,
+		Masters:   masters,
+		Placement: p,
+		Grid:      grid,
+		Router:    route.NewRouter(grid, ropt),
+		Pins:      map[int][]TaggedPin{},
+		NetOf:     map[int]int{},
+	}
+}
+
+// TaggedNetPins builds the tagged terminal list of a netlist net from the
+// placement (driver cell/PI pad plus all sinks/PO pads), with standard-cell
+// pins on M1.
+func (d *Design) TaggedNetPins(netID int) []TaggedPin {
+	n := d.Netlist.Nets[netID]
+	pins := make([]TaggedPin, 0, 1+n.FanoutCount())
+	if n.IsPI() {
+		// PI pads carry the PI index in Ref.Gate so attacks/metrics can
+		// identify which input a driver fragment represents.
+		pins = append(pins, TaggedPin{
+			Pin:  route.Pin{Pt: d.Placement.PIPads[n.PI], Layer: 1},
+			Role: RolePI, Gate: -1, Ref: netlist.PinRef{Gate: n.PI, Pin: -1}, PO: -1,
+		})
+	} else {
+		pins = append(pins, TaggedPin{
+			Pin:  route.Pin{Pt: d.Placement.GateCenter(n.Driver), Layer: 1},
+			Role: RoleDriver, Gate: n.Driver, PO: -1,
+		})
+	}
+	for _, s := range n.Sinks {
+		pins = append(pins, TaggedPin{
+			Pin:  route.Pin{Pt: d.Placement.GateCenter(s.Gate), Layer: 1},
+			Role: RoleSink, Gate: s.Gate, Ref: s, PO: -1,
+		})
+	}
+	for _, po := range n.POs {
+		pins = append(pins, TaggedPin{
+			Pin:  route.Pin{Pt: d.Placement.POPads[po], Layer: 1},
+			Role: RolePO, Gate: -1, PO: po,
+		})
+	}
+	return pins
+}
+
+// RouteEntity routes one entity (net or synthetic wire) with the given lift
+// constraint and records its terminals. routeID must be unique per entity;
+// for plain netlist nets use the net ID.
+func (d *Design) RouteEntity(routeID, netID int, pins []TaggedPin, lift int) error {
+	rpins := make([]route.Pin, len(pins))
+	for i, p := range pins {
+		rpins[i] = p.Pin
+	}
+	if err := d.Router.RouteNet(routeID, rpins, lift); err != nil {
+		return err
+	}
+	d.Pins[routeID] = pins
+	d.NetOf[routeID] = netID
+	return nil
+}
+
+// RouteAll routes every netlist net flat (no synthetic cells); lifts maps
+// net IDs to minimum layers (missing = unconstrained). Nets are routed in
+// increasing-HPWL order, short first, like a conventional global router.
+func (d *Design) RouteAll(lifts map[int]int) error {
+	type job struct {
+		id   int
+		hpwl int
+	}
+	jobs := make([]job, 0, d.Netlist.NumNets())
+	for _, n := range d.Netlist.Nets {
+		if n.FanoutCount() == 0 {
+			continue
+		}
+		jobs = append(jobs, job{n.ID, geom.HPWL(d.Placement.NetPoints(d.Netlist, n.ID))})
+	}
+	// insertion sort by hpwl then id for determinism
+	for i := 1; i < len(jobs); i++ {
+		j := jobs[i]
+		k := i - 1
+		for k >= 0 && (jobs[k].hpwl > j.hpwl || (jobs[k].hpwl == j.hpwl && jobs[k].id > j.id)) {
+			jobs[k+1] = jobs[k]
+			k--
+		}
+		jobs[k+1] = j
+	}
+	for _, j := range jobs {
+		lift := DefaultLift(j.hpwl / d.Grid.GCell)
+		if l, ok := lifts[j.id]; ok {
+			lift = l
+		}
+		if err := d.RouteEntity(j.id, j.id, d.TaggedNetPins(j.id), lift); err != nil {
+			return fmt.Errorf("layout: routing net %q: %v", d.Netlist.Nets[j.id].Name, err)
+		}
+	}
+	d.Router.NegotiateReroute(3)
+	return nil
+}
+
+// DefaultLift is the router's layer promotion for unconstrained nets.
+// Layer assignment here is purely congestion-driven (the per-layer cost
+// bias plus capacity pressure decide who climbs), matching the paper's
+// Fig. 5 "Original" profile where the majority of wiring sits in the lower
+// metal layers; only extremely long nets are promoted outright.
+func DefaultLift(hpwlGCells int) int {
+	if hpwlGCells >= 60 {
+		return 4
+	}
+	return 1
+}
+
+// AddExtra registers an auxiliary (correction/lifting) cell and returns its
+// ID. Placement legality among extras is the caller's concern (see
+// LegalizeExtras).
+func (d *Design) AddExtra(m *cell.Master, loc geom.Point) int {
+	id := len(d.Extras)
+	d.Extras = append(d.Extras, Extra{ID: id, Master: m, Loc: loc})
+	return id
+}
+
+// LegalizeExtras shifts extra cells so that no two overlap (they may
+// overlap standard cells by construction — their pins are in the BEOL).
+// This mirrors the paper's custom legalization scripts. The algorithm is a
+// greedy row-scan: extras are binned by row, sorted by x, and pushed right
+// (wrapping to the row above when the row overflows).
+func (d *Design) LegalizeExtras() {
+	rows := map[int][]int{}
+	rowH := cell.RowHeight
+	for i := range d.Extras {
+		y := d.Extras[i].Loc.Y / rowH * rowH
+		y = geom.Clamp(y, d.Placement.Die.Lo.Y, d.Placement.Die.Hi.Y-rowH)
+		d.Extras[i].Loc.Y = y
+		rows[y] = append(rows[y], i)
+	}
+	for y := d.Placement.Die.Lo.Y; y < d.Placement.Die.Hi.Y; y += rowH {
+		ids := rows[y]
+		// sort by x
+		for i := 1; i < len(ids); i++ {
+			j := ids[i]
+			k := i - 1
+			for k >= 0 && d.Extras[ids[k]].Loc.X > d.Extras[j].Loc.X {
+				ids[k+1] = ids[k]
+				k--
+			}
+			ids[k+1] = j
+		}
+		cursor := d.Placement.Die.Lo.X
+		for _, id := range ids {
+			e := &d.Extras[id]
+			if e.Loc.X < cursor {
+				e.Loc.X = cursor
+			}
+			if e.Loc.X+e.Master.WidthNM > d.Placement.Die.Hi.X {
+				// Wrap to next row (toward the top; clamped).
+				ny := geom.Clamp(e.Loc.Y+rowH, d.Placement.Die.Lo.Y, d.Placement.Die.Hi.Y-rowH)
+				e.Loc.Y = ny
+				e.Loc.X = d.Placement.Die.Lo.X
+				rows[ny] = append(rows[ny], id)
+				continue
+			}
+			cursor = e.Loc.X + e.Master.WidthNM
+		}
+	}
+}
+
+// CheckExtrasLegal verifies no two extras overlap.
+func (d *Design) CheckExtrasLegal() error {
+	for i := range d.Extras {
+		ri := geom.NewRect(d.Extras[i].Loc, geom.Point{
+			X: d.Extras[i].Loc.X + d.Extras[i].Master.WidthNM,
+			Y: d.Extras[i].Loc.Y + cell.RowHeight,
+		})
+		for j := i + 1; j < len(d.Extras); j++ {
+			rj := geom.NewRect(d.Extras[j].Loc, geom.Point{
+				X: d.Extras[j].Loc.X + d.Extras[j].Master.WidthNM,
+				Y: d.Extras[j].Loc.Y + cell.RowHeight,
+			})
+			if ri.Overlaps(rj) {
+				return fmt.Errorf("layout: extras %d and %d overlap", i, j)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,272 @@
+package layout
+
+import (
+	"fmt"
+	"sort"
+
+	"splitmfg/internal/geom"
+	"splitmfg/internal/route"
+)
+
+// Direction of a dangling wire at a vpin: the compass direction the FEOL
+// metal segment points toward as it arrives at the via location. Attacks
+// use it to bias candidate selection ("the partner lies that way").
+type Direction int
+
+// Directions.
+const (
+	DirNone Direction = iota
+	DirNorth
+	DirSouth
+	DirEast
+	DirWest
+)
+
+func (d Direction) String() string {
+	switch d {
+	case DirNorth:
+		return "N"
+	case DirSouth:
+		return "S"
+	case DirEast:
+		return "E"
+	case DirWest:
+		return "W"
+	default:
+		return "-"
+	}
+}
+
+// VPin is a virtual pin: the via location where a routed net crosses the
+// split boundary from the topmost FEOL layer into the BEOL.
+type VPin struct {
+	ID      int
+	RouteID int
+	Node    route.Node // lower (FEOL-side) node, Z == split layer
+	Pt      geom.Point // die coordinates of the gcell center
+	Frag    int        // index into SplitView.Frags
+	Dir     Direction  // dangling-wire direction
+}
+
+// Fragment is one connected FEOL piece of a routed net after splitting.
+type Fragment struct {
+	ID      int
+	RouteID int
+	Nodes   []route.Node // FEOL nodes of this component
+	VPins   []int        // vpin IDs attached to this fragment
+	Pins    []TaggedPin  // design terminals contained in this fragment
+}
+
+// HasDriver reports whether the fragment contains the net's source terminal
+// (a cell output or a PI pad).
+func (f *Fragment) HasDriver() bool {
+	for _, p := range f.Pins {
+		if p.Role == RoleDriver || p.Role == RolePI {
+			return true
+		}
+	}
+	return false
+}
+
+// SinkPins returns the sink-side terminals in the fragment.
+func (f *Fragment) SinkPins() []TaggedPin {
+	var out []TaggedPin
+	for _, p := range f.Pins {
+		if p.Role == RoleSink || p.Role == RolePO {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// SplitView is what an FEOL-fab adversary sees after splitting: fragments
+// of nets in the lower layers and open via positions (vpins) pointing up.
+type SplitView struct {
+	Layer   int // split after this layer: M1..Layer are FEOL
+	VPins   []VPin
+	Frags   []Fragment
+	ByRoute map[int][]int // route ID -> fragment IDs
+}
+
+// Split computes the FEOL view after the given layer. Every routed entity
+// is decomposed into connected FEOL components; vias crossing the boundary
+// become vpins with dangling-wire directions.
+func (d *Design) Split(layer int) (*SplitView, error) {
+	if layer < 1 || layer >= d.Grid.Layers {
+		return nil, fmt.Errorf("layout: split layer M%d out of range (1..%d)", layer, d.Grid.Layers-1)
+	}
+	sv := &SplitView{Layer: layer, ByRoute: map[int][]int{}}
+	ids := make([]int, 0, len(d.Router.Nets()))
+	for id := range d.Router.Nets() {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		rn := d.Router.Net(id)
+		// FEOL adjacency.
+		adj := map[route.Node][]route.Node{}
+		var boundary []route.Edge
+		touch := func(n route.Node) {
+			if _, ok := adj[n]; !ok {
+				adj[n] = nil
+			}
+		}
+		for _, e := range rn.Edges {
+			if e.A.Z <= layer && e.B.Z <= layer {
+				adj[e.A] = append(adj[e.A], e.B)
+				adj[e.B] = append(adj[e.B], e.A)
+				continue
+			}
+			lo, hi := e.A, e.B
+			if hi.Z < lo.Z {
+				lo, hi = hi, lo
+			}
+			if lo.Z == layer && hi.Z == layer+1 {
+				boundary = append(boundary, route.Edge{A: lo, B: hi})
+				touch(lo)
+			}
+		}
+		// FEOL pins are fragment members even when isolated (stub of zero
+		// FEOL wirelength, e.g. a pin with a stacked via directly up).
+		for _, p := range d.Pins[id] {
+			if p.Layer <= layer {
+				touch(d.Grid.NodeOf(p.Pt, p.Layer))
+			}
+		}
+		// Connected components over FEOL nodes.
+		comp := map[route.Node]int{}
+		var order []route.Node
+		for n := range adj {
+			order = append(order, n)
+		}
+		sort.Slice(order, func(i, j int) bool { return nodeLess(order[i], order[j]) })
+		for _, n := range order {
+			if _, seen := comp[n]; seen {
+				continue
+			}
+			fid := len(sv.Frags)
+			frag := Fragment{ID: fid, RouteID: id}
+			stack := []route.Node{n}
+			comp[n] = fid
+			for len(stack) > 0 {
+				cur := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				frag.Nodes = append(frag.Nodes, cur)
+				for _, m := range adj[cur] {
+					if _, seen := comp[m]; !seen {
+						comp[m] = fid
+						stack = append(stack, m)
+					}
+				}
+			}
+			sv.Frags = append(sv.Frags, frag)
+			sv.ByRoute[id] = append(sv.ByRoute[id], fid)
+		}
+		// Attach design pins to their fragments.
+		for _, p := range d.Pins[id] {
+			if p.Layer <= layer {
+				if fid, ok := comp[d.Grid.NodeOf(p.Pt, p.Layer)]; ok {
+					sv.Frags[fid].Pins = append(sv.Frags[fid].Pins, p)
+				}
+			}
+		}
+		// VPins with dangling directions.
+		for _, e := range boundary {
+			fid, ok := comp[e.A]
+			if !ok {
+				continue // via stack floating above BEOL-only wiring
+			}
+			vp := VPin{
+				ID:      len(sv.VPins),
+				RouteID: id,
+				Node:    e.A,
+				Pt:      d.Grid.CenterOf(e.A),
+				Frag:    fid,
+				Dir:     danglingDir(adj, e.A),
+			}
+			sv.VPins = append(sv.VPins, vp)
+			sv.Frags[fid].VPins = append(sv.Frags[fid].VPins, vp.ID)
+		}
+	}
+	return sv, nil
+}
+
+func nodeLess(a, b route.Node) bool {
+	if a.Z != b.Z {
+		return a.Z < b.Z
+	}
+	if a.Y != b.Y {
+		return a.Y < b.Y
+	}
+	return a.X < b.X
+}
+
+// danglingDir derives the direction the last FEOL wire segment travels as
+// it arrives at the vpin node: a segment from the west points East, etc.
+// Vias directly stacked (no top-layer segment) yield DirNone.
+func danglingDir(adj map[route.Node][]route.Node, at route.Node) Direction {
+	for _, m := range adj[at] {
+		if m.Z != at.Z {
+			continue // via below, not a wire
+		}
+		switch {
+		case m.X < at.X:
+			return DirEast
+		case m.X > at.X:
+			return DirWest
+		case m.Y < at.Y:
+			return DirNorth
+		case m.Y > at.Y:
+			return DirSouth
+		}
+	}
+	return DirNone
+}
+
+// DriverFrags returns the fragments containing source terminals.
+func (sv *SplitView) DriverFrags() []int {
+	var out []int
+	for i := range sv.Frags {
+		if sv.Frags[i].HasDriver() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SinkFrags returns fragments that contain at least one sink terminal and
+// no driver (pure sink-side fragments).
+func (sv *SplitView) SinkFrags() []int {
+	var out []int
+	for i := range sv.Frags {
+		f := &sv.Frags[i]
+		if !f.HasDriver() && len(f.SinkPins()) > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// FragCenter returns the centroid of a fragment's vpins (falling back to
+// node centroid), which attacks use as the fragment's location.
+func (sv *SplitView) FragCenter(d *Design, fid int) geom.Point {
+	f := &sv.Frags[fid]
+	if len(f.VPins) > 0 {
+		var x, y int
+		for _, vid := range f.VPins {
+			x += sv.VPins[vid].Pt.X
+			y += sv.VPins[vid].Pt.Y
+		}
+		return geom.Point{X: x / len(f.VPins), Y: y / len(f.VPins)}
+	}
+	var x, y int
+	for _, n := range f.Nodes {
+		p := d.Grid.CenterOf(n)
+		x += p.X
+		y += p.Y
+	}
+	if len(f.Nodes) == 0 {
+		return geom.Point{}
+	}
+	return geom.Point{X: x / len(f.Nodes), Y: y / len(f.Nodes)}
+}

@@ -1,0 +1,158 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"splitmfg/internal/bench"
+	"splitmfg/internal/cell"
+	"splitmfg/internal/layout"
+	"splitmfg/internal/netlist"
+	"splitmfg/internal/place"
+	"splitmfg/internal/route"
+	"splitmfg/internal/sim"
+)
+
+func TestDistStats(t *testing.T) {
+	s := ComputeDistStats([]int{1000, 2000, 3000})
+	if s.N != 3 || s.Mean != 2 || s.Median != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	want := math.Sqrt(2.0 / 3.0)
+	if math.Abs(s.Std-want) > 1e-9 {
+		t.Fatalf("std = %v, want %v", s.Std, want)
+	}
+	// Even count median.
+	s = ComputeDistStats([]int{1000, 2000, 3000, 4000})
+	if s.Median != 2.5 {
+		t.Fatalf("median = %v", s.Median)
+	}
+	if s := ComputeDistStats(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatal("empty stats nonzero")
+	}
+}
+
+func buildSplit(t *testing.T, name string, splitLayer int) (*layout.Design, *layout.SplitView) {
+	t.Helper()
+	nl, err := bench.ISCAS85(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := cell.NewNangate45Like()
+	masters, err := lib.Bind(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := place.Place(nl, masters, place.Options{UtilPercent: 70, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := layout.NewDesign(nl, masters, p, route.Options{})
+	if err := d.RouteAll(nil); err != nil {
+		t.Fatal(err)
+	}
+	sv, err := d.Split(splitLayer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, sv
+}
+
+func TestTrueAssignmentScoresPerfect(t *testing.T) {
+	d, sv := buildSplit(t, "c432", 3)
+	truth := TrueAssignment(d, sv, d.Netlist)
+	res := CCR(d, sv, d.Netlist, truth)
+	if res.Protected == 0 {
+		t.Fatal("no protected sink fragments at M3 split")
+	}
+	// Every sink fragment whose true driver has a fragment must score.
+	missing := 0
+	for _, v := range truth {
+		if v < 0 {
+			missing++
+		}
+	}
+	if res.Correct+missing != res.Protected {
+		t.Fatalf("correct=%d missing=%d protected=%d", res.Correct, missing, res.Protected)
+	}
+	if res.CCR < 0.9 {
+		t.Fatalf("truth assignment CCR = %v (driver fragments missing?)", res.CCR)
+	}
+}
+
+func TestRecoverNetlistWithTruthIsEquivalent(t *testing.T) {
+	d, sv := buildSplit(t, "c432", 3)
+	truth := TrueAssignment(d, sv, d.Netlist)
+	rec := RecoverNetlist(d, sv, truth)
+	if err := rec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	pats := sim.RandomPatterns(rng, d.Netlist.NumPIs(), 64)
+	res, err := sim.Compare(d.Netlist, rec, pats, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DiffBits != 0 {
+		t.Fatalf("truth-recovered netlist differs: OER=%v HD=%v", res.OER, res.HD)
+	}
+}
+
+func TestCCRWrongAssignmentScoresZeroish(t *testing.T) {
+	d, sv := buildSplit(t, "c432", 3)
+	truth := TrueAssignment(d, sv, d.Netlist)
+	drivers := sv.DriverFrags()
+	// Rotate assignments: each sink gets some wrong driver.
+	wrong := Assignment{}
+	for sink, drv := range truth {
+		for i, df := range drivers {
+			if df == drv {
+				wrong[sink] = drivers[(i+1)%len(drivers)]
+				break
+			}
+		}
+		if _, ok := wrong[sink]; !ok {
+			wrong[sink] = drivers[0]
+		}
+	}
+	res := CCR(d, sv, d.Netlist, wrong)
+	if res.CCR > 0.1 {
+		t.Fatalf("rotated assignment CCR = %v, want ≈0", res.CCR)
+	}
+}
+
+func TestCCREmptyAssignment(t *testing.T) {
+	d, sv := buildSplit(t, "c432", 3)
+	res := CCR(d, sv, d.Netlist, Assignment{})
+	if res.Correct != 0 || res.CCR != 0 {
+		t.Fatalf("empty assignment scored: %+v", res)
+	}
+}
+
+func TestTrueDriverOf(t *testing.T) {
+	nl := netlist.New("t")
+	a := nl.AddPI("a")
+	g1 := nl.AddGate("g1", netlist.Inv, a)
+	g2 := nl.AddGate("g2", netlist.Buf, nl.Gates[g1].Out)
+	nl.AddPO("y", nl.Gates[g2].Out)
+	// Sink pin of g2 reads g1.
+	drv, pi, ok := TrueDriverOf(nl, layout.TaggedPin{Role: layout.RoleSink, Ref: netlist.PinRef{Gate: g2, Pin: 0}})
+	if !ok || drv != g1 || pi != -1 {
+		t.Fatalf("got %d %d %v", drv, pi, ok)
+	}
+	// Sink pin of g1 reads PI 0.
+	drv, pi, ok = TrueDriverOf(nl, layout.TaggedPin{Role: layout.RoleSink, Ref: netlist.PinRef{Gate: g1, Pin: 0}})
+	if !ok || drv != -1 || pi != 0 {
+		t.Fatalf("got %d %d %v", drv, pi, ok)
+	}
+	// PO 0 is driven by g2.
+	drv, pi, ok = TrueDriverOf(nl, layout.TaggedPin{Role: layout.RolePO, PO: 0})
+	if !ok || drv != g2 {
+		t.Fatalf("got %d %d %v", drv, pi, ok)
+	}
+	// Driver pins are not sinks.
+	if _, _, ok := TrueDriverOf(nl, layout.TaggedPin{Role: layout.RoleDriver}); ok {
+		t.Fatal("driver pin treated as sink")
+	}
+}

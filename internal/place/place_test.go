@@ -1,0 +1,178 @@
+package place
+
+import (
+	"math/rand"
+	"testing"
+
+	"splitmfg/internal/bench"
+	"splitmfg/internal/cell"
+	"splitmfg/internal/geom"
+	"splitmfg/internal/netlist"
+)
+
+func placed(t *testing.T, name string, util int) (*netlist.Netlist, *Placement) {
+	t.Helper()
+	nl, err := bench.ISCAS85(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := cell.NewNangate45Like()
+	masters, err := lib.Bind(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Place(nl, masters, Options{UtilPercent: util, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl, p
+}
+
+func TestPlaceLegal(t *testing.T) {
+	_, p := placed(t, "c880", 70)
+	if err := p.CheckLegal(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlaceLegalHighUtil(t *testing.T) {
+	_, p := placed(t, "c432", 85)
+	if err := p.CheckLegal(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlacementLocality(t *testing.T) {
+	// Connected gates must end up much closer than random pairs: this is
+	// the very hint proximity attacks exploit, so the substrate must
+	// exhibit it.
+	nl, p := placed(t, "c1908", 70)
+	dists := p.ConnectedDistances(nl)
+	if len(dists) == 0 {
+		t.Fatal("no connected distances")
+	}
+	var meanConn float64
+	for _, d := range dists {
+		meanConn += float64(d)
+	}
+	meanConn /= float64(len(dists))
+
+	rng := rand.New(rand.NewSource(2))
+	var meanRand float64
+	const samples = 4000
+	for i := 0; i < samples; i++ {
+		a := rng.Intn(nl.NumGates())
+		b := rng.Intn(nl.NumGates())
+		meanRand += float64(p.GateCenter(a).Manhattan(p.GateCenter(b)))
+	}
+	meanRand /= samples
+	if meanConn*1.8 > meanRand {
+		t.Fatalf("placement shows no locality: connected=%.0fnm random=%.0fnm", meanConn, meanRand)
+	}
+}
+
+func TestPlaceDeterministic(t *testing.T) {
+	_, p1 := placed(t, "c432", 70)
+	_, p2 := placed(t, "c432", 70)
+	for i := range p1.Cells {
+		if p1.Cells[i].Loc != p2.Cells[i].Loc {
+			t.Fatal("placement not deterministic")
+		}
+	}
+}
+
+func TestPadsOnBoundary(t *testing.T) {
+	nl, p := placed(t, "c432", 70)
+	for i, pad := range p.PIPads {
+		onEdge := pad.X == p.Die.Lo.X || pad.X == p.Die.Hi.X || pad.Y == p.Die.Lo.Y || pad.Y == p.Die.Hi.Y
+		if !onEdge {
+			t.Fatalf("PI pad %d (%s) not on die edge", i, nl.PINames[i])
+		}
+	}
+	for i := range p.POPads {
+		pad := p.POPads[i]
+		onEdge := pad.X == p.Die.Lo.X || pad.X == p.Die.Hi.X || pad.Y == p.Die.Lo.Y || pad.Y == p.Die.Hi.Y
+		if !onEdge {
+			t.Fatalf("PO pad %d not on die edge", i)
+		}
+	}
+}
+
+func TestNetPoints(t *testing.T) {
+	nl, p := placed(t, "c432", 70)
+	for _, n := range nl.Nets {
+		pts := p.NetPoints(nl, n.ID)
+		if len(pts) != 1+n.FanoutCount() {
+			t.Fatalf("net %q: %d points, want %d", n.Name, len(pts), 1+n.FanoutCount())
+		}
+		for _, pt := range pts {
+			if pt.X < p.Die.Lo.X || pt.X > p.Die.Hi.X || pt.Y < p.Die.Lo.Y || pt.Y > p.Die.Hi.Y {
+				t.Fatalf("net %q point %v outside die %v", n.Name, pt, p.Die)
+			}
+		}
+	}
+}
+
+func TestHPWLPositive(t *testing.T) {
+	nl, p := placed(t, "c432", 70)
+	if p.HPWL(nl) <= 0 {
+		t.Fatal("HPWL must be positive")
+	}
+}
+
+func TestSwapCells(t *testing.T) {
+	nl, p := placed(t, "c432", 70)
+	_ = nl
+	la, lb := p.Cells[3].Loc, p.Cells[7].Loc
+	p.SwapCells(3, 7)
+	if p.Cells[3].Loc != lb || p.Cells[7].Loc != la {
+		t.Fatal("swap failed")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	_, p := placed(t, "c432", 70)
+	c := p.Clone()
+	c.Cells[0].Loc = geom.Point{X: -1, Y: -1}
+	if p.Cells[0].Loc == c.Cells[0].Loc {
+		t.Fatal("clone shares cell storage")
+	}
+}
+
+func TestPlaceErrors(t *testing.T) {
+	nl, _ := bench.ISCAS85("c432")
+	lib := cell.NewNangate45Like()
+	masters, _ := lib.Bind(nl)
+	if _, err := Place(nl, masters[:3], Options{UtilPercent: 70}); err == nil {
+		t.Error("expected error for short masters slice")
+	}
+	if _, err := Place(nl, masters, Options{UtilPercent: 0}); err == nil {
+		t.Error("expected error for zero utilization")
+	}
+	if _, err := Place(nl, masters, Options{UtilPercent: 99}); err == nil {
+		t.Error("expected error for >95%% utilization")
+	}
+}
+
+func TestSuperblueScalePlaces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("superblue placement in -short mode")
+	}
+	nl, err := bench.Superblue("superblue18", 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := cell.NewNangate45Like()
+	masters, err := lib.Bind(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	util, _ := bench.SuperblueUtil("superblue18")
+	p, err := Place(nl, masters, Options{UtilPercent: util, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckLegal(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,407 @@
+package report
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"splitmfg/internal/attack/crouting"
+	"splitmfg/internal/bench"
+	"splitmfg/internal/cell"
+	"splitmfg/internal/defense/baselines"
+	"splitmfg/internal/defense/correction"
+	"splitmfg/internal/defense/randomize"
+	"splitmfg/internal/flow"
+	"splitmfg/internal/geom"
+	"splitmfg/internal/layout"
+	"splitmfg/internal/metrics"
+	"splitmfg/internal/netlist"
+	"splitmfg/internal/place"
+)
+
+// paperTable1 holds the published distance statistics (mean/median/std µm).
+var paperTable1 = map[string][3][3]float64{ // design -> [orig, lifted, proposed][mean, median, std]
+	"superblue1":  {{14.31, 2.85, 54.84}, {14.37, 2.92, 54.83}, {198.46, 48.41, 318.88}},
+	"superblue5":  {{14.38, 2.99, 49.16}, {14.39, 2.99, 49.17}, {244.73, 96.9, 328.84}},
+	"superblue10": {{12.66, 2.73, 49.59}, {12.71, 2.8, 49.58}, {254.06, 71.03, 372.07}},
+	"superblue12": {{19.06, 3.18, 75.37}, {19.08, 3.23, 75.37}, {263.21, 81.28, 395.26}},
+	"superblue18": {{12.91, 2.54, 41.74}, {12.93, 2.54, 41.74}, {208.47, 119.51, 244.81}},
+}
+
+// sbBundle is one superblue design built in all three variants over the
+// same randomized net set.
+type sbBundle struct {
+	Name      string
+	Original  *layout.Design
+	Lifted    *correction.Protected
+	Proposed  *correction.Protected
+	Netlist   *netlist.Netlist
+	Protected map[netlist.PinRef]bool
+}
+
+// buildSuperblueBundle constructs original/lifted/proposed for one design.
+func buildSuperblueBundle(name string, cfg Config) (*sbBundle, error) {
+	nl, err := bench.Superblue(name, cfg.SuperblueScale)
+	if err != nil {
+		return nil, err
+	}
+	util, err := bench.SuperblueUtil(name)
+	if err != nil {
+		return nil, err
+	}
+	lib := cell.NewNangate45Like()
+	copt := correction.Options{LiftLayer: 8, UtilPercent: util, Seed: cfg.Seed}
+	orig, err := correction.BuildOriginal(nl, lib, copt)
+	if err != nil {
+		return nil, fmt.Errorf("%s original: %v", name, err)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Randomize well past the OER knee, as the paper's budget loop does
+	// (Table 2 protects enough nets for the via deltas to dominate noise):
+	// ~6% of all gate input pins.
+	pins := 0
+	for _, g := range nl.Gates {
+		pins += len(g.Fanin)
+	}
+	r, err := randomize.Randomize(nl, rng, randomize.Options{
+		PatternWords: 32, MaxSwaps: pins * 3 / 100, TargetOER: 2,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s randomize: %v", name, err)
+	}
+	prot, err := correction.BuildProtected(nl, r, lib, copt)
+	if err != nil {
+		return nil, fmt.Errorf("%s protected: %v", name, err)
+	}
+	var sinks []netlist.PinRef
+	for pin := range r.Protected {
+		sinks = append(sinks, pin)
+	}
+	sortPins(sinks)
+	naive, err := correction.BuildNaiveLifted(nl, sinks, lib, copt)
+	if err != nil {
+		return nil, fmt.Errorf("%s naive: %v", name, err)
+	}
+	return &sbBundle{
+		Name: name, Original: orig, Lifted: naive, Proposed: prot,
+		Netlist: nl, Protected: r.Protected,
+	}, nil
+}
+
+// protectedDistances returns, per protected sink pin, the distance between
+// its TRUE driver gate and the sink gate under the given placement.
+func protectedDistances(nl *netlist.Netlist, pl *place.Placement, pins map[netlist.PinRef]bool) []int {
+	var out []int
+	for pin := range pins {
+		trueNet := nl.Gates[pin.Gate].Fanin[pin.Pin]
+		n := nl.Nets[trueNet]
+		var dp geom.Point
+		if n.IsPI() {
+			dp = pl.PIPads[n.PI]
+		} else {
+			dp = pl.GateCenter(n.Driver)
+		}
+		out = append(out, dp.Manhattan(pl.GateCenter(pin.Gate)))
+	}
+	return out
+}
+
+// Table1 regenerates the paper's Table 1: distances between truly
+// connected gates for the randomized net set, per variant.
+func Table1(cfg Config) (*Table, error) {
+	cfg = cfg.WithDefaults()
+	t := &Table{
+		Title:   fmt.Sprintf("Table 1: distances between connected gates (µm), superblue scale 1/%d", cfg.SuperblueScale),
+		Columns: []string{"design", "layout", "mean", "median", "std", "paper(mean/median/std)"},
+		Notes: []string{
+			"distances measured over the randomized net set; proposed uses the erroneous placement, so true pairs land arbitrarily far apart",
+			"absolute µm are smaller than the paper's (scaled dies); the orders-of-magnitude jump for Proposed is the reproduced claim",
+		},
+	}
+	for _, name := range bench.SuperblueNames() {
+		b, err := buildSuperblueBundle(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		// NOTE: the original netlist's connectivity is the reference for
+		// all three variants.
+		variants := []struct {
+			label string
+			pl    *place.Placement
+			idx   int
+		}{
+			{"Original", b.Original.Placement, 0},
+			{"Lifted", b.Lifted.Design.Placement, 1},
+			{"Proposed", b.Proposed.Design.Placement, 2},
+		}
+		for _, v := range variants {
+			ds := metrics.ComputeDistStats(protectedDistances(b.Netlist, v.pl, b.Protected))
+			ref := ""
+			if p, ok := paperTable1[name]; ok {
+				ref = fmt.Sprintf("%.1f/%.1f/%.1f", p[v.idx][0], p[v.idx][1], p[v.idx][2])
+			}
+			t.Rows = append(t.Rows, []string{name, v.label, f2(ds.Mean), f2(ds.Median), f2(ds.Std), ref})
+		}
+	}
+	return t, nil
+}
+
+// Fig4CSV emits the per-connection distance series for one design (the
+// paper plots superblue18) as CSV: variant,connection_index,distance_um.
+func Fig4CSV(name string, cfg Config) (string, error) {
+	cfg = cfg.WithDefaults()
+	b, err := buildSuperblueBundle(name, cfg)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString("variant,net,distance_um\n")
+	emit := func(label string, pl *place.Placement) {
+		ds := protectedDistances(b.Netlist, pl, b.Protected)
+		for i, d := range ds {
+			fmt.Fprintf(&sb, "%s,%d,%.3f\n", label, i, geom.Microns(d))
+		}
+	}
+	emit("original", b.Original.Placement)
+	emit("lifted", b.Lifted.Design.Placement)
+	emit("proposed", b.Proposed.Design.Placement)
+	return sb.String(), nil
+}
+
+// Table2 regenerates the paper's Table 2: per-boundary via counts for the
+// original layout, and the percentage increases of naive lifting and the
+// proposed scheme (same randomized net set, zero die-area growth).
+func Table2(cfg Config) (*Table, error) {
+	cfg = cfg.WithDefaults()
+	t := &Table{
+		Title:   fmt.Sprintf("Table 2: additional vias over original (%%), superblue scale 1/%d, lift M8", cfg.SuperblueScale),
+		Columns: []string{"design", "layout", "V12", "V23", "V34", "V45", "V56", "V67", "V78", "V89", "V910", "total"},
+		Notes: []string{
+			"paper (proposed, superblue1): +2.1 +4.1 +10.8 +18.4 +29.9 +31.8 +34.2 +27.3 +40.9, total +5.9%",
+			"expected shape: Proposed adds far more high-layer vias than Lifted; both leave low layers nearly untouched",
+		},
+	}
+	for _, name := range bench.SuperblueNames() {
+		b, err := buildSuperblueBundle(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		so := b.Original.Router.ComputeStats()
+		row := []string{name, "Original"}
+		var totalO int64
+		for z := 1; z <= 9; z++ {
+			row = append(row, fmt.Sprintf("%d", so.Vias[z]))
+			totalO += so.Vias[z]
+		}
+		row = append(row, fmt.Sprintf("%d", totalO))
+		t.Rows = append(t.Rows, row)
+		for _, v := range []struct {
+			label string
+			d     *layout.Design
+		}{{"Lifted", b.Lifted.Design}, {"Proposed", b.Proposed.Design}} {
+			s := v.d.Router.ComputeStats()
+			row := []string{name, v.label + " (%)"}
+			var total int64
+			for z := 1; z <= 9; z++ {
+				// Percent delta when the original has vias at this
+				// boundary; absolute "+N" otherwise (our scaled originals
+				// often have zero V67+ where the paper's do not).
+				if so.Vias[z] > 0 {
+					row = append(row, f1(float64(s.Vias[z]-so.Vias[z])/float64(so.Vias[z])*100))
+				} else {
+					row = append(row, fmt.Sprintf("+%d", s.Vias[z]))
+				}
+				total += s.Vias[z]
+			}
+			deltaT := 0.0
+			if totalO > 0 {
+				deltaT = float64(total-totalO) / float64(totalO) * 100
+			}
+			row = append(row, f1(deltaT))
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}
+
+// Fig5 regenerates the per-layer wirelength distribution of the randomized
+// nets for each variant (percent of that variant's randomized-net
+// wirelength in each metal layer).
+func Fig5(name string, cfg Config) (*Table, error) {
+	cfg = cfg.WithDefaults()
+	b, err := buildSuperblueBundle(name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Fig. 5: wirelength by layer for randomized nets, %s (%% of variant total)", name),
+		Columns: []string{"layout", "M1", "M2", "M3", "M4", "M5", "M6", "M7", "M8", "M9", "M10"},
+		Notes: []string{
+			"expected shape: Original concentrated low; Lifted and Proposed hold the majority of this wiring in M8+",
+		},
+	}
+	// The randomized net set in each variant: original routes the nets
+	// directly; lifted/proposed route trunk+stub(+restore) entities.
+	protNets := map[int]bool{}
+	for pin := range b.Protected {
+		protNets[b.Netlist.Gates[pin.Gate].Fanin[pin.Pin]] = true
+		// true source net as well (proposed restores it through BEOL)
+		protNets[randomize.TrueSourceNet(b.Netlist, pin)] = true
+	}
+	for _, v := range []struct {
+		label string
+		d     *layout.Design
+	}{{"Original", b.Original}, {"Lifted", b.Lifted.Design}, {"Proposed", b.Proposed.Design}} {
+		byLayer := make([]int64, cell.NumLayers+1)
+		var total int64
+		for id, rn := range v.d.Router.Nets() {
+			netID, ok := v.d.NetOf[id]
+			if !ok || !protNets[netID] {
+				continue
+			}
+			for _, e := range rn.Edges {
+				if e.IsVia() {
+					continue
+				}
+				byLayer[e.A.Z] += int64(v.d.Grid.GCell)
+				total += int64(v.d.Grid.GCell)
+			}
+		}
+		row := []string{v.label}
+		for z := 1; z <= cell.NumLayers; z++ {
+			p := 0.0
+			if total > 0 {
+				p = float64(byLayer[z]) / float64(total) * 100
+			}
+			row = append(row, f1(p))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Table3 regenerates the paper's Table 3: the crouting attack's vpins and
+// expected candidate-list sizes per bounding box for each variant.
+func Table3(cfg Config) (*Table, error) {
+	cfg = cfg.WithDefaults()
+	t := &Table{
+		Title:   fmt.Sprintf("Table 3: crouting attack, split M5, superblue scale 1/%d", cfg.SuperblueScale),
+		Columns: []string{"design", "layout", "#vpins", "E[LS] 15", "E[LS] 30", "E[LS] 45", "match15", "match45"},
+		Notes: []string{
+			"paper (superblue1 original): 73110 vpins, E[LS] 4.63/13.25/23.46",
+			"expected shape: Proposed has >= vpins and >= E[LS] than Original/Lifted (a larger, harder solution space)",
+		},
+	}
+	for _, name := range bench.SuperblueNames() {
+		b, err := buildSuperblueBundle(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range []struct {
+			label string
+			d     *layout.Design
+		}{{"Original", b.Original}, {"Lifted", b.Lifted.Design}, {"Proposed", b.Proposed.Design}} {
+			sv, err := v.d.Split(5)
+			if err != nil {
+				return nil, err
+			}
+			res := crouting.Attack(v.d, sv, b.Netlist, crouting.DefaultOptions())
+			t.Rows = append(t.Rows, []string{
+				name, v.label, fmt.Sprintf("%d", res.NumVPins),
+				f2(res.AvgListSize[15]), f2(res.AvgListSize[30]), f2(res.AvgListSize[45]),
+				f2(res.MatchInList[15]), f2(res.MatchInList[45]),
+			})
+		}
+	}
+	return t, nil
+}
+
+// paperTable6 quotes the published ∆V67/∆V78 numbers.
+var paperTable6 = map[string][4]float64{ // design -> blockage dV67,dV78, proposed dV67,dV78
+	"superblue1":  {23.28, 65.07, 36.32, 49.22},
+	"superblue5":  {12.74, 24.01, 55.12, 59.47},
+	"superblue10": {64.85, 84.09, 62.09, 73.12},
+	"superblue12": {16.99, 35.59, 79.34, 70.59},
+	"superblue18": {24.73, 58.66, 61.87, 124.16},
+}
+
+// Table6 regenerates the paper's Table 6: additional V67/V78 vias of the
+// routing-blockage defense [7] vs the proposed scheme (split after M6,
+// restore in M8).
+func Table6(cfg Config) (*Table, error) {
+	cfg = cfg.WithDefaults()
+	lib := cell.NewNangate45Like()
+	t := &Table{
+		Title:   fmt.Sprintf("Table 6: ∆V67/∆V78 (%%) vs routing blockage, lift M8, superblue scale 1/%d", cfg.SuperblueScale),
+		Columns: []string{"design", "blockage dV67", "blockage dV78", "proposed dV67", "proposed dV78", "paper(blk67/blk78/prop67/prop78)"},
+		Notes: []string{
+			"paper averages: blockage +28.5/+53.5, proposed +59.0/+75.3 — proposed pushes far more wiring into V67/V78",
+		},
+	}
+	for _, name := range bench.SuperblueNames() {
+		b, err := buildSuperblueBundle(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		util, _ := bench.SuperblueUtil(name)
+		blocked, err := baselines.RoutingBlockage(b.Netlist, lib, baselines.Options{UtilPercent: util, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		so := b.Original.Router.ComputeStats()
+		sb := blocked.Router.ComputeStats()
+		sp := b.Proposed.Design.Router.ComputeStats()
+		delta := func(s int64, z int) string {
+			if so.Vias[z] == 0 {
+				return fmt.Sprintf("+%d", s) // absolute when base is zero
+			}
+			return f1(float64(s-so.Vias[z]) / float64(so.Vias[z]) * 100)
+		}
+		ref := ""
+		if p, ok := paperTable6[name]; ok {
+			ref = fmt.Sprintf("%.0f/%.0f/%.0f/%.0f", p[0], p[1], p[2], p[3])
+		}
+		t.Rows = append(t.Rows, []string{
+			name,
+			delta(sb.Vias[6], 6), delta(sb.Vias[7], 7),
+			delta(sp.Vias[6], 6), delta(sp.Vias[7], 7),
+			ref,
+		})
+	}
+	return t, nil
+}
+
+// SuperbluePPA reports the Sec 5.3 superblue overheads (5% budget, M8).
+func SuperbluePPA(cfg Config) (*Table, error) {
+	cfg = cfg.WithDefaults()
+	t := &Table{
+		Title:   fmt.Sprintf("Sec 5.3: superblue PPA overheads (lift M8), scale 1/%d", cfg.SuperblueScale),
+		Columns: []string{"design", "swaps", "area%", "power%", "delay%"},
+		Notes:   []string{"paper: average ≈3.5% power, ≈2.7% delay, zero area"},
+	}
+	lib := cell.NewNangate45Like()
+	for _, name := range bench.SuperblueNames() {
+		nl, err := bench.Superblue(name, cfg.SuperblueScale)
+		if err != nil {
+			return nil, err
+		}
+		util, _ := bench.SuperblueUtil(name)
+		res, err := protectSuperblue(nl, lib, util, cfg)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			name, fmt.Sprintf("%d", res.Swaps), pct(res.AreaOH), pct(res.PowerOH), pct(res.DelayOH),
+		})
+	}
+	return t, nil
+}
+
+// protectSuperblue runs the budgeted flow with the paper's superblue
+// settings: lift to M8, 5% PPA budget.
+func protectSuperblue(nl *netlist.Netlist, lib *cell.Library, util int, cfg Config) (*flow.ProtectResult, error) {
+	return flow.Protect(nl, lib, flow.Config{
+		LiftLayer: 8, UtilPercent: util, Seed: cfg.Seed,
+		PPABudgetPercent: 5, PatternWords: cfg.PatternWords,
+	})
+}

@@ -1,0 +1,642 @@
+// Package route is the global-routing substrate standing in for Cadence
+// Innovus' router. It routes nets over a 3-D grid of gcells with ten metal
+// layers (M1..M10), alternating preferred directions, via costs, soft
+// congestion-aware capacities, and — crucial for the paper's flow —
+// per-net minimum-layer constraints that implement wire lifting: a lifted
+// net may only climb vertically below its minimum layer, forcing its trunk
+// wiring into the BEOL.
+//
+// The router reports exactly the quantities the paper's evaluation needs:
+// per-layer wirelength (Fig. 5), per-boundary via counts V12..V910
+// (Tables 2 and 6), and the routed topology from which the layout package
+// derives FEOL fragments, vpins, and dangling-wire directions.
+package route
+
+import (
+	"container/heap"
+	"fmt"
+
+	"splitmfg/internal/geom"
+)
+
+// DefaultGCellNM is the default gcell pitch (two row heights).
+const DefaultGCellNM = 2800
+
+// Node is a grid vertex: gcell coordinates plus layer (1-based).
+type Node struct {
+	X, Y, Z int
+}
+
+// Edge is one routed grid edge between two adjacent nodes (a wire segment
+// when A.Z == B.Z, a via otherwise).
+type Edge struct {
+	A, B Node
+}
+
+// IsVia reports whether the edge crosses layers.
+func (e Edge) IsVia() bool { return e.A.Z != e.B.Z }
+
+// Pin is a routing terminal: a die location plus the metal layer the pin
+// shape lives on (1 for standard cells, 6/8 for correction cells).
+type Pin struct {
+	Pt    geom.Point
+	Layer int
+}
+
+// Grid describes the routing fabric.
+type Grid struct {
+	W, H   int // gcells in x and y
+	Layers int // topmost metal layer (M1..Layers)
+	GCell  int // gcell pitch in nm
+	Die    geom.Rect
+}
+
+// NewGrid builds a grid covering the die with the given pitch and layers.
+func NewGrid(die geom.Rect, gcell, layers int) Grid {
+	if gcell <= 0 {
+		gcell = DefaultGCellNM
+	}
+	w := (die.W() + gcell - 1) / gcell
+	h := (die.H() + gcell - 1) / gcell
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	return Grid{W: w, H: h, Layers: layers, GCell: gcell, Die: die}
+}
+
+// NodeOf maps a die point and layer to its grid node.
+func (g Grid) NodeOf(p geom.Point, layer int) Node {
+	return Node{
+		X: geom.Clamp((p.X-g.Die.Lo.X)/g.GCell, 0, g.W-1),
+		Y: geom.Clamp((p.Y-g.Die.Lo.Y)/g.GCell, 0, g.H-1),
+		Z: geom.Clamp(layer, 1, g.Layers),
+	}
+}
+
+// CenterOf maps a grid node back to the die coordinates of its center.
+func (g Grid) CenterOf(n Node) geom.Point {
+	return geom.Point{
+		X: g.Die.Lo.X + n.X*g.GCell + g.GCell/2,
+		Y: g.Die.Lo.Y + n.Y*g.GCell + g.GCell/2,
+	}
+}
+
+// Horizontal reports whether layer z routes horizontally (odd layers) or
+// vertically (even layers).
+func Horizontal(z int) bool { return z%2 == 1 }
+
+// Options tunes the router.
+type Options struct {
+	ViaCost     int     // cost of one via step relative to gcell length; 0 = default
+	Capacity    int     // tracks per gcell edge per layer; 0 = default (10)
+	HistoryCost float64 // congestion penalty weight; 0 = default (2.0)
+	MaxDetour   int     // extra gcells allowed around the bbox; 0 = default (12)
+}
+
+func (o Options) withDefaults() Options {
+	if o.ViaCost == 0 {
+		o.ViaCost = 12
+	}
+	if o.HistoryCost == 0 {
+		o.HistoryCost = 2.0
+	}
+	if o.MaxDetour == 0 {
+		o.MaxDetour = 12
+	}
+	return o
+}
+
+// RoutedNet is the routed tree of one net.
+type RoutedNet struct {
+	ID       int
+	Pins     []Pin
+	Edges    []Edge
+	MinLayer int // the lift constraint the net was routed with (1 = none)
+	Failed   bool
+}
+
+// Wirelength returns the net's total routed wire length in nm (vias
+// excluded) and its via count.
+func (rn *RoutedNet) Wirelength(g Grid) (wlNM int64, vias int) {
+	for _, e := range rn.Edges {
+		if e.IsVia() {
+			vias++
+		} else {
+			wlNM += int64(g.GCell)
+		}
+	}
+	return wlNM, vias
+}
+
+// Router routes nets incrementally and supports rip-up/re-route (the ECO
+// mode the paper's flow uses when restoring true connectivity in the BEOL).
+type Router struct {
+	Grid Grid
+	Opt  Options
+
+	usageH []int32 // horizontal segment usage, indexed by node index
+	usageV []int32 // vertical segment usage
+	nets   map[int]*RoutedNet
+
+	// scratch for A*
+	dist    []int64
+	visitID []int32
+	from    []int32
+	epoch   int32
+}
+
+// NewRouter creates a router over the grid. When Options.Capacity is zero
+// it defaults to the physical track count of the gcell pitch (one routing
+// track per ~280nm at 45nm-class metal pitches), so fine grids are
+// realistically tight and congestion pushes wiring upward exactly as in
+// commercial flows.
+func NewRouter(grid Grid, opt Options) *Router {
+	if opt.Capacity == 0 {
+		opt.Capacity = (grid.GCell + 95) / 190 // round(gcell / 190nm pitch)
+		if opt.Capacity < 2 {
+			opt.Capacity = 2
+		}
+	}
+	n := grid.W * grid.H * (grid.Layers + 1)
+	return &Router{
+		Grid:    grid,
+		Opt:     opt.withDefaults(),
+		usageH:  make([]int32, n),
+		usageV:  make([]int32, n),
+		nets:    make(map[int]*RoutedNet),
+		dist:    make([]int64, n),
+		visitID: make([]int32, n),
+		from:    make([]int32, n),
+	}
+}
+
+func (r *Router) idx(n Node) int32 {
+	return int32((n.Z*r.Grid.H+n.Y)*r.Grid.W + n.X)
+}
+
+func (r *Router) node(i int32) Node {
+	w, h := r.Grid.W, r.Grid.H
+	x := int(i) % w
+	y := int(i) / w % h
+	z := int(i) / (w * h)
+	return Node{X: x, Y: y, Z: z}
+}
+
+// Nets returns the currently routed nets keyed by ID.
+func (r *Router) Nets() map[int]*RoutedNet { return r.nets }
+
+// Net returns one routed net, or nil.
+func (r *Router) Net(id int) *RoutedNet { return r.nets[id] }
+
+// RouteNet routes (or re-routes) net id connecting all pins, honoring the
+// minimum-layer lift constraint (minLayer <= 1 means unconstrained). Wire
+// segments are only allowed on layers >= max(2, minLayer); below that,
+// only vertical via climbs are permitted, so every pin connects upward to
+// the trunk. Routing is A*-based per sink with the growing tree as the
+// source frontier.
+func (r *Router) RouteNet(id int, pins []Pin, minLayer int) error {
+	if len(pins) == 0 {
+		return fmt.Errorf("route: net %d has no pins", id)
+	}
+	if minLayer > r.Grid.Layers {
+		return fmt.Errorf("route: net %d lift layer M%d above top layer M%d", id, minLayer, r.Grid.Layers)
+	}
+	if old := r.nets[id]; old != nil {
+		r.ripUp(old)
+	}
+	rn := &RoutedNet{ID: id, Pins: append([]Pin(nil), pins...), MinLayer: minLayer}
+	r.nets[id] = rn
+	if len(pins) == 1 {
+		return nil
+	}
+	wireMin := 2
+	if minLayer > wireMin {
+		wireMin = minLayer
+	}
+
+	// Tree nodes so far (as indices); start from pin 0's grid node.
+	tree := map[int32]bool{}
+	start := r.Grid.NodeOf(pins[0].Pt, pins[0].Layer)
+	tree[r.idx(start)] = true
+
+	// Route sinks nearest-first to keep trees short.
+	order := make([]int, 0, len(pins)-1)
+	for i := 1; i < len(pins); i++ {
+		order = append(order, i)
+	}
+	for i := 0; i < len(order); i++ {
+		best := i
+		for j := i + 1; j < len(order); j++ {
+			if pins[order[j]].Pt.Manhattan(pins[0].Pt) < pins[order[best]].Pt.Manhattan(pins[0].Pt) {
+				best = j
+			}
+		}
+		order[i], order[best] = order[best], order[i]
+	}
+
+	for _, pi := range order {
+		target := r.Grid.NodeOf(pins[pi].Pt, pins[pi].Layer)
+		if tree[r.idx(target)] {
+			continue
+		}
+		path, err := r.search(tree, target, wireMin)
+		if err != nil {
+			rn.Failed = true
+			return fmt.Errorf("route: net %d sink %d: %v", id, pi, err)
+		}
+		for _, e := range path {
+			rn.Edges = append(rn.Edges, e)
+			r.addUsage(e, 1)
+			tree[r.idx(e.A)] = true
+			tree[r.idx(e.B)] = true
+		}
+	}
+	return nil
+}
+
+// RipUp removes a routed net, releasing its routing resources.
+func (r *Router) RipUp(id int) {
+	if rn := r.nets[id]; rn != nil {
+		r.ripUp(rn)
+		delete(r.nets, id)
+	}
+}
+
+func (r *Router) ripUp(rn *RoutedNet) {
+	for _, e := range rn.Edges {
+		r.addUsage(e, -1)
+	}
+	rn.Edges = nil
+}
+
+func (r *Router) addUsage(e Edge, d int32) {
+	if e.IsVia() {
+		return
+	}
+	lo := e.A
+	if e.B.X < lo.X || e.B.Y < lo.Y {
+		lo = e.B
+	}
+	if e.A.Y == e.B.Y && e.A.X != e.B.X {
+		r.usageH[r.idx(lo)] += d
+	} else {
+		r.usageV[r.idx(lo)] += d
+	}
+}
+
+// edgeCost returns the cost of moving across one wire segment with the
+// current congestion, or a via step.
+func (r *Router) segCost(lo Node, horizontal bool) int64 {
+	var u int32
+	if horizontal {
+		u = r.usageH[r.idx(lo)]
+	} else {
+		u = r.usageV[r.idx(lo)]
+	}
+	// Commercial routers fill the cheap lower layers first and only climb
+	// under congestion or length pressure; the per-layer bias reproduces
+	// the paper's Fig. 5 "Original" wirelength profile (most wiring low).
+	base := int64(10 + 10*(lo.Z-2))
+	if lo.Z < 2 {
+		base = 10
+	}
+	over := int(u) - r.Opt.Capacity
+	if over < 0 {
+		// Mild pressure as the edge fills up.
+		return base + int64(u)/2
+	}
+	return base + int64(float64(base)*r.Opt.HistoryCost*float64(over+1))
+}
+
+const viaBase = 10 // via cost = viaBase * Opt.ViaCost / 4 scaled below
+
+func (r *Router) viaCost() int64 { return int64(10 * r.Opt.ViaCost / 4) }
+
+// pqItem is a priority-queue entry for A*.
+type pqItem struct {
+	node int32
+	f    int64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(a, b int) bool  { return q[a].f < q[b].f }
+func (q pq) Swap(a, b int)       { q[a], q[b] = q[b], q[a] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// search runs A* from the tree frontier to the target node. Wire moves are
+// restricted to layers >= wireMin in the layer's preferred direction; via
+// moves are always allowed. The search region is the bounding box of the
+// tree and target expanded by MaxDetour gcells (retried once at 4x).
+func (r *Router) search(tree map[int32]bool, target Node, wireMin int) ([]Edge, error) {
+	for attempt, detour := range []int{r.Opt.MaxDetour, r.Opt.MaxDetour * 4} {
+		edges, ok := r.searchBounded(tree, target, wireMin, detour)
+		if ok {
+			return edges, nil
+		}
+		_ = attempt
+	}
+	return nil, fmt.Errorf("no path to %v (wireMin=M%d)", target, wireMin)
+}
+
+func (r *Router) searchBounded(tree map[int32]bool, target Node, wireMin, detour int) ([]Edge, bool) {
+	g := r.Grid
+	// Bounding region.
+	loX, loY := target.X, target.Y
+	hiX, hiY := target.X, target.Y
+	for t := range tree {
+		n := r.node(t)
+		if n.X < loX {
+			loX = n.X
+		}
+		if n.Y < loY {
+			loY = n.Y
+		}
+		if n.X > hiX {
+			hiX = n.X
+		}
+		if n.Y > hiY {
+			hiY = n.Y
+		}
+	}
+	loX = geom.Clamp(loX-detour, 0, g.W-1)
+	loY = geom.Clamp(loY-detour, 0, g.H-1)
+	hiX = geom.Clamp(hiX+detour, 0, g.W-1)
+	hiY = geom.Clamp(hiY+detour, 0, g.H-1)
+
+	r.epoch++
+	ep := r.epoch
+	tIdx := r.idx(target)
+
+	h := func(i int32) int64 {
+		n := r.node(i)
+		dx := int64(absInt(n.X - target.X))
+		dy := int64(absInt(n.Y - target.Y))
+		dz := int64(absInt(n.Z - target.Z))
+		return (dx+dy)*10 + dz*r.viaCost()
+	}
+	var q pq
+	for t := range tree {
+		r.dist[t] = 0
+		r.visitID[t] = ep
+		r.from[t] = -1
+		heap.Push(&q, pqItem{t, h(t)})
+	}
+	relax := func(cur int32, next Node, cost int64) {
+		ni := r.idx(next)
+		nd := r.dist[cur] + cost
+		if r.visitID[ni] != ep || nd < r.dist[ni] {
+			r.visitID[ni] = ep
+			r.dist[ni] = nd
+			r.from[ni] = cur
+			heap.Push(&q, pqItem{ni, nd + h(ni)})
+		}
+	}
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		cur := it.node
+		if r.visitID[cur] != ep || it.f > r.dist[cur]+h(cur) {
+			continue // stale entry
+		}
+		if cur == tIdx {
+			// Reconstruct path back to the tree.
+			var edges []Edge
+			for i := cur; r.from[i] >= 0; i = r.from[i] {
+				edges = append(edges, Edge{A: r.node(r.from[i]), B: r.node(i)})
+			}
+			return edges, true
+		}
+		n := r.node(cur)
+		// Via moves.
+		if n.Z < g.Layers {
+			relax(cur, Node{n.X, n.Y, n.Z + 1}, r.viaCost())
+		}
+		if n.Z > 1 {
+			relax(cur, Node{n.X, n.Y, n.Z - 1}, r.viaCost())
+		}
+		// Wire moves (preferred direction, within bounds, above wireMin).
+		if n.Z >= wireMin {
+			if Horizontal(n.Z) {
+				if n.X > loX {
+					relax(cur, Node{n.X - 1, n.Y, n.Z}, r.segCost(Node{n.X - 1, n.Y, n.Z}, true))
+				}
+				if n.X < hiX {
+					relax(cur, Node{n.X + 1, n.Y, n.Z}, r.segCost(n, true))
+				}
+			} else {
+				if n.Y > loY {
+					relax(cur, Node{n.X, n.Y - 1, n.Z}, r.segCost(Node{n.X, n.Y - 1, n.Z}, false))
+				}
+				if n.Y < hiY {
+					relax(cur, Node{n.X, n.Y + 1, n.Z}, r.segCost(n, false))
+				}
+			}
+		}
+		_ = viaBase
+	}
+	return nil, false
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Stats aggregates routing results across all nets.
+type Stats struct {
+	WirelengthByLayer []int64 // index 1..Layers, nm
+	Vias              []int64 // index z: vias between Mz and Mz+1 (1..Layers-1)
+	TotalWirelength   int64
+	TotalVias         int64
+	OverflowEdges     int // edges above capacity
+}
+
+// ComputeStats tallies per-layer wirelength, via counts per boundary, and
+// capacity overflows.
+func (r *Router) ComputeStats() Stats {
+	g := r.Grid
+	s := Stats{
+		WirelengthByLayer: make([]int64, g.Layers+1),
+		Vias:              make([]int64, g.Layers+1),
+	}
+	for _, rn := range r.nets {
+		for _, e := range rn.Edges {
+			if e.IsVia() {
+				lo := e.A.Z
+				if e.B.Z < lo {
+					lo = e.B.Z
+				}
+				s.Vias[lo]++
+				s.TotalVias++
+			} else {
+				s.WirelengthByLayer[e.A.Z] += int64(g.GCell)
+				s.TotalWirelength += int64(g.GCell)
+			}
+		}
+	}
+	for i := range r.usageH {
+		if int(r.usageH[i]) > r.Opt.Capacity {
+			s.OverflowEdges++
+		}
+		if int(r.usageV[i]) > r.Opt.Capacity {
+			s.OverflowEdges++
+		}
+	}
+	return s
+}
+
+// MaxUsage returns the maximum edge usage, for congestion reporting.
+func (r *Router) MaxUsage() int {
+	m := int32(0)
+	for _, u := range r.usageH {
+		if u > m {
+			m = u
+		}
+	}
+	for _, u := range r.usageV {
+		if u > m {
+			m = u
+		}
+	}
+	return int(m)
+}
+
+// Validate checks every routed net's tree: edges adjacent, connected, and
+// spanning all pins; wire segments respect preferred directions and the
+// net's lift constraint.
+func (r *Router) Validate() error {
+	for id, rn := range r.nets {
+		if rn.Failed {
+			return fmt.Errorf("route: net %d marked failed", id)
+		}
+		if len(rn.Pins) <= 1 {
+			continue
+		}
+		adj := map[Node][]Node{}
+		for _, e := range rn.Edges {
+			if !adjacent(e.A, e.B) {
+				return fmt.Errorf("route: net %d has non-adjacent edge %v", id, e)
+			}
+			if !e.IsVia() {
+				if Horizontal(e.A.Z) && e.A.Y != e.B.Y {
+					return fmt.Errorf("route: net %d routes vertically on horizontal layer M%d", id, e.A.Z)
+				}
+				if !Horizontal(e.A.Z) && e.A.X != e.B.X {
+					return fmt.Errorf("route: net %d routes horizontally on vertical layer M%d", id, e.A.Z)
+				}
+				wireMin := 2
+				if rn.MinLayer > wireMin {
+					wireMin = rn.MinLayer
+				}
+				if e.A.Z < wireMin {
+					return fmt.Errorf("route: net %d has wire on M%d below lift layer M%d", id, e.A.Z, wireMin)
+				}
+			}
+			adj[e.A] = append(adj[e.A], e.B)
+			adj[e.B] = append(adj[e.B], e.A)
+		}
+		// Connectivity: BFS from pin 0's node must reach all pin nodes.
+		start := r.Grid.NodeOf(rn.Pins[0].Pt, rn.Pins[0].Layer)
+		seen := map[Node]bool{start: true}
+		queue := []Node{start}
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			for _, m := range adj[n] {
+				if !seen[m] {
+					seen[m] = true
+					queue = append(queue, m)
+				}
+			}
+		}
+		for i, p := range rn.Pins {
+			if !seen[r.Grid.NodeOf(p.Pt, p.Layer)] {
+				return fmt.Errorf("route: net %d pin %d not connected", id, i)
+			}
+		}
+	}
+	return nil
+}
+
+func adjacent(a, b Node) bool {
+	dx := absInt(a.X - b.X)
+	dy := absInt(a.Y - b.Y)
+	dz := absInt(a.Z - b.Z)
+	return dx+dy+dz == 1
+}
+
+// NegotiateReroute performs congestion negotiation: nets crossing
+// over-capacity edges are ripped up and re-routed with an escalated
+// history cost, for up to the given number of iterations or until no
+// overflow remains. This is the rip-up-and-reroute loop every production
+// global router runs to reach a DRC-clean (capacity-respecting) result.
+func (r *Router) NegotiateReroute(iters int) {
+	for it := 0; it < iters; it++ {
+		over := map[int]bool{}
+		for id, rn := range r.nets {
+			for _, e := range rn.Edges {
+				if e.IsVia() {
+					continue
+				}
+				lo := e.A
+				if e.B.X < lo.X || e.B.Y < lo.Y {
+					lo = e.B
+				}
+				var u int32
+				if e.A.Y == e.B.Y && e.A.X != e.B.X {
+					u = r.usageH[r.idx(lo)]
+				} else {
+					u = r.usageV[r.idx(lo)]
+				}
+				if int(u) > r.Opt.Capacity {
+					over[id] = true
+					break
+				}
+			}
+		}
+		if len(over) == 0 {
+			return
+		}
+		ids := make([]int, 0, len(over))
+		for id := range over {
+			ids = append(ids, id)
+		}
+		sortInts(ids)
+		r.Opt.HistoryCost *= 1.8
+		for _, id := range ids {
+			rn := r.nets[id]
+			pins := rn.Pins
+			minLayer := rn.MinLayer
+			if err := r.RouteNet(id, pins, minLayer); err != nil {
+				// Keep the old route on failure (RouteNet already ripped it
+				// up; re-route unconstrained by marking failed).
+				rn.Failed = true
+			}
+		}
+	}
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}

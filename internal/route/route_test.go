@@ -1,0 +1,384 @@
+package route
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"splitmfg/internal/geom"
+)
+
+func testGrid() Grid {
+	die := geom.Rect{Lo: geom.Point{X: 0, Y: 0}, Hi: geom.Point{X: 56000, Y: 56000}}
+	return NewGrid(die, DefaultGCellNM, 10) // 20x20x10
+}
+
+func TestGridMapping(t *testing.T) {
+	g := testGrid()
+	if g.W != 20 || g.H != 20 {
+		t.Fatalf("grid %dx%d, want 20x20", g.W, g.H)
+	}
+	n := g.NodeOf(geom.Point{X: 0, Y: 0}, 1)
+	if n != (Node{0, 0, 1}) {
+		t.Fatalf("node = %v", n)
+	}
+	n = g.NodeOf(geom.Point{X: 55999, Y: 55999}, 10)
+	if n != (Node{19, 19, 10}) {
+		t.Fatalf("node = %v", n)
+	}
+	// Out-of-range points clamp.
+	n = g.NodeOf(geom.Point{X: -5, Y: 99999}, 42)
+	if n != (Node{0, 19, 10}) {
+		t.Fatalf("clamped node = %v", n)
+	}
+	c := g.CenterOf(Node{3, 4, 2})
+	if c != (geom.Point{X: 3*2800 + 1400, Y: 4*2800 + 1400}) {
+		t.Fatalf("center = %v", c)
+	}
+}
+
+func TestRouteTwoPin(t *testing.T) {
+	r := NewRouter(testGrid(), Options{})
+	pins := []Pin{
+		{Pt: geom.Point{X: 1400, Y: 1400}, Layer: 1},
+		{Pt: geom.Point{X: 42000, Y: 28000}, Layer: 1},
+	}
+	if err := r.RouteNet(0, pins, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rn := r.Net(0)
+	wl, vias := rn.Wirelength(r.Grid)
+	if wl <= 0 || vias < 2 {
+		t.Fatalf("wl=%d vias=%d", wl, vias)
+	}
+	// Minimum wirelength is the Manhattan distance in gcells.
+	a := r.Grid.NodeOf(pins[0].Pt, 1)
+	b := r.Grid.NodeOf(pins[1].Pt, 1)
+	minWL := int64((absInt(a.X-b.X) + absInt(a.Y-b.Y)) * r.Grid.GCell)
+	if wl < minWL {
+		t.Fatalf("wirelength %d below Manhattan bound %d", wl, minWL)
+	}
+	if wl > 2*minWL {
+		t.Fatalf("wirelength %d far above Manhattan bound %d (bad routing)", wl, minWL)
+	}
+}
+
+func TestRouteMultiPin(t *testing.T) {
+	r := NewRouter(testGrid(), Options{})
+	rng := rand.New(rand.NewSource(4))
+	pins := make([]Pin, 6)
+	for i := range pins {
+		pins[i] = Pin{Pt: geom.Point{X: rng.Intn(56000), Y: rng.Intn(56000)}, Layer: 1}
+	}
+	if err := r.RouteNet(7, pins, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLiftConstraint(t *testing.T) {
+	r := NewRouter(testGrid(), Options{})
+	pins := []Pin{
+		{Pt: geom.Point{X: 1400, Y: 1400}, Layer: 1},
+		{Pt: geom.Point{X: 42000, Y: 28000}, Layer: 1},
+	}
+	if err := r.RouteNet(0, pins, 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// All wire segments must be on M6+; via chain must reach down to pins.
+	sawWire := false
+	for _, e := range r.Net(0).Edges {
+		if !e.IsVia() {
+			sawWire = true
+			if e.A.Z < 6 {
+				t.Fatalf("wire on M%d despite lift to M6", e.A.Z)
+			}
+		}
+	}
+	if !sawWire {
+		t.Fatal("no wire segments at all")
+	}
+	s := r.ComputeStats()
+	// Lifting to M6 forces vias through every boundary V12..V56 at both
+	// ends: at least 2 per boundary below M6.
+	for z := 1; z <= 5; z++ {
+		if s.Vias[z] < 2 {
+			t.Fatalf("V%d%d = %d, want >= 2", z, z+1, s.Vias[z])
+		}
+	}
+}
+
+func TestLiftAboveTopRejected(t *testing.T) {
+	r := NewRouter(testGrid(), Options{})
+	pins := []Pin{{Pt: geom.Point{X: 0, Y: 0}, Layer: 1}, {Pt: geom.Point{X: 9000, Y: 0}, Layer: 1}}
+	if err := r.RouteNet(0, pins, 11); err == nil {
+		t.Fatal("lift above top layer should fail")
+	}
+}
+
+func TestRipUpRestoresUsage(t *testing.T) {
+	r := NewRouter(testGrid(), Options{})
+	pins := []Pin{
+		{Pt: geom.Point{X: 1400, Y: 1400}, Layer: 1},
+		{Pt: geom.Point{X: 42000, Y: 28000}, Layer: 1},
+	}
+	if err := r.RouteNet(3, pins, 1); err != nil {
+		t.Fatal(err)
+	}
+	if r.MaxUsage() == 0 {
+		t.Fatal("routing did not record usage")
+	}
+	r.RipUp(3)
+	if r.MaxUsage() != 0 {
+		t.Fatal("rip-up left usage behind")
+	}
+	if r.Net(3) != nil {
+		t.Fatal("net still present after rip-up")
+	}
+}
+
+func TestRerouteReplaces(t *testing.T) {
+	r := NewRouter(testGrid(), Options{})
+	pins := []Pin{
+		{Pt: geom.Point{X: 1400, Y: 1400}, Layer: 1},
+		{Pt: geom.Point{X: 42000, Y: 28000}, Layer: 1},
+	}
+	if err := r.RouteNet(3, pins, 1); err != nil {
+		t.Fatal(err)
+	}
+	wl1, _ := r.Net(3).Wirelength(r.Grid)
+	// Re-route the same net with a lift constraint (ECO-style).
+	if err := r.RouteNet(3, pins, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	wl2, vias2 := r.Net(3).Wirelength(r.Grid)
+	if wl2 < wl1 {
+		t.Fatalf("lifted route shorter than flat route: %d < %d", wl2, wl1)
+	}
+	if vias2 < 14 {
+		t.Fatalf("lifted route has too few vias: %d", vias2)
+	}
+}
+
+func TestCongestionSpreadsRoutes(t *testing.T) {
+	// Route many parallel nets through a narrow region; capacity pressure
+	// must not prevent completion and usage must stay bounded-ish.
+	r := NewRouter(testGrid(), Options{Capacity: 2})
+	for i := 0; i < 30; i++ {
+		pins := []Pin{
+			{Pt: geom.Point{X: 1400, Y: 28000}, Layer: 1},
+			{Pt: geom.Point{X: 54000, Y: 28000}, Layer: 1},
+		}
+		if err := r.RouteNet(i, pins, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsTally(t *testing.T) {
+	r := NewRouter(testGrid(), Options{})
+	pins := []Pin{
+		{Pt: geom.Point{X: 1400, Y: 1400}, Layer: 1},
+		{Pt: geom.Point{X: 20000, Y: 1400}, Layer: 1},
+	}
+	if err := r.RouteNet(0, pins, 1); err != nil {
+		t.Fatal(err)
+	}
+	s := r.ComputeStats()
+	var wl int64
+	for z := 1; z <= 10; z++ {
+		wl += s.WirelengthByLayer[z]
+	}
+	if wl != s.TotalWirelength || wl <= 0 {
+		t.Fatalf("per-layer wl %d != total %d", wl, s.TotalWirelength)
+	}
+	var vias int64
+	for z := 1; z < 10; z++ {
+		vias += s.Vias[z]
+	}
+	if vias != s.TotalVias || vias < 2 {
+		t.Fatalf("vias %d / total %d", vias, s.TotalVias)
+	}
+}
+
+func TestSameGCellPins(t *testing.T) {
+	r := NewRouter(testGrid(), Options{})
+	pins := []Pin{
+		{Pt: geom.Point{X: 1000, Y: 1000}, Layer: 1},
+		{Pt: geom.Point{X: 1200, Y: 1100}, Layer: 1}, // same gcell
+	}
+	if err := r.RouteNet(0, pins, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoPinsRejected(t *testing.T) {
+	r := NewRouter(testGrid(), Options{})
+	if err := r.RouteNet(0, nil, 1); err == nil {
+		t.Fatal("expected error for empty pin list")
+	}
+}
+
+func TestHighLayerPins(t *testing.T) {
+	// Correction cells have pins on M6/M8: routing between them must not
+	// dip below M6 when lifted.
+	r := NewRouter(testGrid(), Options{})
+	pins := []Pin{
+		{Pt: geom.Point{X: 1400, Y: 1400}, Layer: 6},
+		{Pt: geom.Point{X: 30000, Y: 30000}, Layer: 6},
+	}
+	if err := r.RouteNet(0, pins, 6); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range r.Net(0).Edges {
+		lo := e.A.Z
+		if e.B.Z < lo {
+			lo = e.B.Z
+		}
+		if lo < 6 {
+			t.Fatalf("edge %v dips below M6", e)
+		}
+	}
+}
+
+func TestPropertyRandomNetsRouteAndValidate(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := NewRouter(testGrid(), Options{})
+		for id := 0; id < 12; id++ {
+			np := 2 + rng.Intn(4)
+			pins := make([]Pin, np)
+			for i := range pins {
+				pins[i] = Pin{Pt: geom.Point{X: rng.Intn(56000), Y: rng.Intn(56000)}, Layer: 1}
+			}
+			min := 1
+			if rng.Intn(3) == 0 {
+				min = 6
+			}
+			if err := r.RouteNet(id, pins, min); err != nil {
+				return false
+			}
+		}
+		return r.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyRipUpIsInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := NewRouter(testGrid(), Options{})
+		// Route a background net, snapshot usage, route+ripup another,
+		// usage must return to the snapshot.
+		bg := []Pin{
+			{Pt: geom.Point{X: 1400, Y: 1400}, Layer: 1},
+			{Pt: geom.Point{X: 42000, Y: 42000}, Layer: 1},
+		}
+		if r.RouteNet(0, bg, 1) != nil {
+			return false
+		}
+		snapH := append([]int32(nil), r.usageH...)
+		snapV := append([]int32(nil), r.usageV...)
+		pins := []Pin{
+			{Pt: geom.Point{X: rng.Intn(56000), Y: rng.Intn(56000)}, Layer: 1},
+			{Pt: geom.Point{X: rng.Intn(56000), Y: rng.Intn(56000)}, Layer: 1},
+		}
+		if r.RouteNet(1, pins, 1) != nil {
+			return false
+		}
+		r.RipUp(1)
+		for i := range snapH {
+			if r.usageH[i] != snapH[i] || r.usageV[i] != snapV[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRouteTwoPinNets(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	r := NewRouter(testGrid(), Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pins := []Pin{
+			{Pt: geom.Point{X: rng.Intn(56000), Y: rng.Intn(56000)}, Layer: 1},
+			{Pt: geom.Point{X: rng.Intn(56000), Y: rng.Intn(56000)}, Layer: 1},
+		}
+		if err := r.RouteNet(i, pins, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestNegotiateRerouteReducesOverflow(t *testing.T) {
+	// Jam many parallel nets through the same corridor at capacity 1,
+	// then negotiate: overflow must drop (usually to zero).
+	r := NewRouter(testGrid(), Options{Capacity: 1})
+	for i := 0; i < 12; i++ {
+		pins := []Pin{
+			{Pt: geom.Point{X: 1400, Y: 28000 + (i%3)*100}, Layer: 1},
+			{Pt: geom.Point{X: 54000, Y: 28000 + (i%3)*100}, Layer: 1},
+		}
+		if err := r.RouteNet(i, pins, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := r.ComputeStats().OverflowEdges
+	r.NegotiateReroute(4)
+	after := r.ComputeStats().OverflowEdges
+	if after > before {
+		t.Fatalf("negotiation increased overflow: %d -> %d", before, after)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegotiatePreservesLiftConstraints(t *testing.T) {
+	r := NewRouter(testGrid(), Options{Capacity: 1})
+	for i := 0; i < 8; i++ {
+		pins := []Pin{
+			{Pt: geom.Point{X: 1400, Y: 28000}, Layer: 1},
+			{Pt: geom.Point{X: 54000, Y: 28000}, Layer: 1},
+		}
+		lift := 1
+		if i%2 == 0 {
+			lift = 6
+		}
+		if err := r.RouteNet(i, pins, lift); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.NegotiateReroute(3)
+	for i := 0; i < 8; i += 2 {
+		if rn := r.Net(i); rn.MinLayer != 6 {
+			t.Fatalf("net %d lost its lift constraint after negotiation", i)
+		}
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

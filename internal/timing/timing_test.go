@@ -1,0 +1,185 @@
+package timing
+
+import (
+	"testing"
+
+	"splitmfg/internal/bench"
+	"splitmfg/internal/cell"
+	"splitmfg/internal/geom"
+	"splitmfg/internal/layout"
+	"splitmfg/internal/netlist"
+	"splitmfg/internal/place"
+	"splitmfg/internal/route"
+)
+
+func analyzed(t *testing.T, name string) (PPA, *layout.Design, *cell.Library) {
+	t.Helper()
+	nl, err := bench.ISCAS85(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := cell.NewNangate45Like()
+	masters, err := lib.Bind(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := place.Place(nl, masters, place.Options{UtilPercent: 70, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := layout.NewDesign(nl, masters, p, route.Options{})
+	if err := d.RouteAll(nil); err != nil {
+		t.Fatal(err)
+	}
+	ppa, err := AnalyzeDesign(d, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ppa, d, lib
+}
+
+func TestAnalyzePositive(t *testing.T) {
+	ppa, _, _ := analyzed(t, "c432")
+	if ppa.AreaUM2 <= 0 || ppa.PowerUW <= 0 || ppa.DelayPS <= 0 || ppa.WirelengthUM <= 0 || ppa.Vias <= 0 {
+		t.Fatalf("non-positive PPA: %v", ppa)
+	}
+}
+
+func TestDeeperCircuitSlower(t *testing.T) {
+	a, _, _ := analyzed(t, "c432")
+	b, _, _ := analyzed(t, "c6288") // 16x16 multiplier: much deeper
+	if b.DelayPS <= a.DelayPS {
+		t.Fatalf("c6288 (%.0fps) should be slower than c432 (%.0fps)", b.DelayPS, a.DelayPS)
+	}
+	if b.PowerUW <= a.PowerUW {
+		t.Fatalf("c6288 should burn more power")
+	}
+	if b.AreaUM2 <= a.AreaUM2 {
+		t.Fatalf("c6288 should be bigger")
+	}
+}
+
+func TestOverheadMath(t *testing.T) {
+	base := PPA{AreaUM2: 100, PowerUW: 50, DelayPS: 200}
+	p := PPA{AreaUM2: 110, PowerUW: 55, DelayPS: 250}
+	a, pw, d := p.Overhead(base)
+	if a != 10 || pw != 10 || d != 25 {
+		t.Fatalf("overheads = %v %v %v", a, pw, d)
+	}
+	// Division by zero guarded.
+	a, pw, d = p.Overhead(PPA{})
+	if a != 0 || pw != 0 || d != 0 {
+		t.Fatal("zero base should yield zero overheads")
+	}
+}
+
+func TestLiftedNetsIncreaseDelayAndPower(t *testing.T) {
+	nl, err := bench.ISCAS85("c880")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := cell.NewNangate45Like()
+	masters, err := lib.Bind(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := place.Place(nl, masters, place.Options{UtilPercent: 70, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := layout.NewDesign(nl, masters, p, route.Options{})
+	if err := flat.RouteAll(nil); err != nil {
+		t.Fatal(err)
+	}
+	basePPA, err := AnalyzeDesign(flat, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lift a third of the nets to M6.
+	lifts := map[int]int{}
+	for _, n := range nl.Nets {
+		if n.FanoutCount() > 0 && n.ID%3 == 0 {
+			lifts[n.ID] = 6
+		}
+	}
+	lifted := layout.NewDesign(nl, masters, p, route.Options{})
+	if err := lifted.RouteAll(lifts); err != nil {
+		t.Fatal(err)
+	}
+	liftPPA, err := AnalyzeDesign(lifted, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if liftPPA.Vias <= basePPA.Vias {
+		t.Fatalf("lifting should add vias: %d vs %d", liftPPA.Vias, basePPA.Vias)
+	}
+	// Lifted trunks can dodge lower-layer congestion, so allow a small
+	// decrease, but a large drop would mean the lift constraint is broken.
+	if liftPPA.WirelengthUM < 0.9*basePPA.WirelengthUM {
+		t.Fatalf("lifted wirelength implausibly short: %.0f vs %.0f", liftPPA.WirelengthUM, basePPA.WirelengthUM)
+	}
+	_, pw, _ := liftPPA.Overhead(basePPA)
+	if pw < 0 {
+		t.Fatalf("lifting lowered power: %v%%", pw)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	nl := netlist.New("t")
+	a := nl.AddPI("a")
+	g := nl.AddGate("g", netlist.Buf, a)
+	nl.AddPO("y", nl.Gates[g].Out)
+	lib := cell.NewNangate45Like()
+	masters, _ := lib.Bind(nl)
+	die := geom.NewRect(geom.Point{X: 0, Y: 0}, geom.Point{X: 10000, Y: 10000})
+	if _, err := Analyze(nl, masters[:0], nil, die); err == nil {
+		t.Error("expected master-count error")
+	}
+	if _, err := Analyze(nl, masters, make([]NetLoad, 1), die); err == nil {
+		t.Error("expected load-count error")
+	}
+	// Loop rejection.
+	nl2 := netlist.New("cyc")
+	a2 := nl2.AddPI("a")
+	g1 := nl2.AddGate("g1", netlist.And, a2, a2)
+	g2 := nl2.AddGate("g2", netlist.Or, nl2.Gates[g1].Out, a2)
+	_ = nl2.RewirePin(g1, 1, nl2.Gates[g2].Out)
+	m2, _ := lib.Bind(nl2)
+	if _, err := Analyze(nl2, m2, make([]NetLoad, nl2.NumNets()), die); err == nil {
+		t.Error("expected loop error")
+	}
+}
+
+func TestSequentialCutPoints(t *testing.T) {
+	// A DFF must cut the timing path: PI -> logic -> DFF -> logic -> PO
+	// has critical path max(front, back), not front+back.
+	nl := netlist.New("seq")
+	a := nl.AddPI("a")
+	prev := a
+	for i := 0; i < 6; i++ {
+		g := nl.AddGate("f"+string(rune('a'+i)), netlist.Inv, prev)
+		prev = nl.Gates[g].Out
+	}
+	ff := nl.AddGate("ff", netlist.DFF, prev)
+	prev2 := nl.Gates[ff].Out
+	for i := 0; i < 2; i++ {
+		g := nl.AddGate("b"+string(rune('a'+i)), netlist.Inv, prev2)
+		prev2 = nl.Gates[g].Out
+	}
+	nl.AddPO("y", prev2)
+	lib := cell.NewNangate45Like()
+	masters, _ := lib.Bind(nl)
+	die := geom.NewRect(geom.Point{X: 0, Y: 0}, geom.Point{X: 10000, Y: 10000})
+	loads := make([]NetLoad, nl.NumNets())
+	ppa, err := Analyze(nl, masters, loads, die)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Path to DFF.D: 6 inverters; path DFF.Q->PO: DFF + 2 inverters.
+	// Critical must be the 6-inverter front, well below the 9-stage sum.
+	inv := masters[0]
+	front := 6 * inv.Delay(inv.InputCap)
+	if ppa.DelayPS > front*1.5 {
+		t.Fatalf("DFF did not cut path: delay=%.1f front≈%.1f", ppa.DelayPS, front)
+	}
+}

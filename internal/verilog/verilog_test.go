@@ -1,0 +1,342 @@
+package verilog
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"splitmfg/internal/netlist"
+	"splitmfg/internal/sim"
+)
+
+func buildFullAdder() *netlist.Netlist {
+	nl := netlist.New("fa")
+	a := nl.AddPI("a")
+	b := nl.AddPI("b")
+	cin := nl.AddPI("cin")
+	x1 := nl.AddGate("x1", netlist.Xor, a, b)
+	x1out := nl.Gates[x1].Out
+	x2 := nl.AddGate("x2", netlist.Xor, x1out, cin)
+	a1 := nl.AddGate("a1", netlist.And, a, b)
+	a2 := nl.AddGate("a2", netlist.And, x1out, cin)
+	o1 := nl.AddGate("o1", netlist.Or, nl.Gates[a1].Out, nl.Gates[a2].Out)
+	nl.AddPO("sum", nl.Gates[x2].Out)
+	nl.AddPO("cout", nl.Gates[o1].Out)
+	return nl
+}
+
+func TestRoundTripFullAdder(t *testing.T) {
+	nl := buildFullAdder()
+	var buf bytes.Buffer
+	if err := Write(&buf, nl); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("Parse: %v\n%s", err, buf.String())
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got.NumGates() != nl.NumGates() || got.NumPIs() != nl.NumPIs() || got.NumPOs() != nl.NumPOs() {
+		t.Fatalf("counts differ: %v vs %v", got.ComputeStats(), nl.ComputeStats())
+	}
+	rng := rand.New(rand.NewSource(1))
+	eq, err := sim.Equivalent(nl, got, rng, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatalf("round-trip changed function:\n%s", buf.String())
+	}
+}
+
+func TestParseHandwritten(t *testing.T) {
+	src := `
+// c17-like example
+module c17 (N1, N2, N3, N6, N7, N22, N23);
+  input N1, N2, N3, N6, N7;
+  output N22, N23;
+  wire N10, N11, N16, N19;
+  NAND2_X1 g1 (.A1(N1), .A2(N3), .Y(N10));
+  NAND2_X1 g2 (.A1(N3), .A2(N6), .Y(N11));
+  NAND2_X1 g3 (.A1(N2), .A2(N11), .Y(N16));
+  NAND2_X1 g4 (.A1(N11), .A2(N7), .Y(N19));
+  NAND2_X1 g5 (.A1(N10), .A2(N16), .Y(N22));
+  NAND2_X1 g6 (.A1(N16), .A2(N19), .Y(N23));
+endmodule
+`
+	nl, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.NumGates() != 6 || nl.NumPIs() != 5 || nl.NumPOs() != 2 {
+		t.Fatalf("stats: %v", nl.ComputeStats())
+	}
+	if nl.Name != "c17" {
+		t.Fatalf("name = %q", nl.Name)
+	}
+	// N22 = NAND(N10,N16): verify structurally.
+	po := nl.Nets[nl.PONets[0]]
+	if po.Name != "N22" || nl.Gates[po.Driver].Type != netlist.Nand {
+		t.Fatalf("PO0 wrong: %q / %v", po.Name, nl.Gates[po.Driver].Type)
+	}
+}
+
+func TestParseNangatePins(t *testing.T) {
+	src := `
+module m (a, b, y);
+  input a, b;
+  output y;
+  wire n1;
+  INV_X1 u1 (.A(a), .ZN(n1));
+  NAND2_X1 u2 (.A1(n1), .A2(b), .ZN(y));
+endmodule
+`
+	nl, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.NumGates() != 2 {
+		t.Fatalf("gates = %d", nl.NumGates())
+	}
+	g := nl.GateByName("u2")
+	if g.Type != netlist.Nand || len(g.Fanin) != 2 {
+		t.Fatalf("u2: %v fanin=%d", g.Type, len(g.Fanin))
+	}
+}
+
+func TestParsePositional(t *testing.T) {
+	src := `
+module m (a, b, y);
+  input a; input b;
+  output y;
+  AND2_X1 u1 (a, b, y);
+endmodule
+`
+	nl, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := nl.GateByName("u1")
+	if g == nil || nl.Nets[g.Out].Name != "y" {
+		t.Fatal("positional output not last")
+	}
+}
+
+func TestParseAssignAlias(t *testing.T) {
+	src := `
+module m (a, y);
+  input a;
+  output y;
+  wire n1;
+  INV_X1 u1 (.A(a), .ZN(n1));
+  assign y = n1;
+endmodule
+`
+	nl, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.NumPOs() != 1 || nl.Nets[nl.PONets[0]].Name != "n1" {
+		t.Fatal("assign alias not followed")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"multidriver", `module m (a, y); input a; output y;
+			INV_X1 u1 (.A(a), .ZN(y)); BUF_X1 u2 (.A(a), .Y(y)); endmodule`},
+		{"undriven", `module m (a, y); input a; output y;
+			AND2_X1 u1 (.A1(a), .A2(nowhere), .Y(y)); endmodule`},
+		{"noendmodule", `module m (a, y); input a; output y;`},
+		{"unknowncell", `module m (a, y); input a; output y;
+			FROB2_X1 u1 (.A1(a), .Y(y)); endmodule`},
+		{"vector", `module m (a, y); input [3:0] a; output y; endmodule`},
+		{"outputundriven", `module m (a, y); input a; output y; endmodule`},
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c.src)); err == nil {
+			t.Errorf("%s: expected parse error", c.name)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+/* block comment
+   spanning lines */
+module m (a, y); // trailing
+  input a;
+  output y;
+  BUF_X1 u1 (.A(a), .Y(y)); /* inline */
+endmodule
+`
+	if _, err := Parse(strings.NewReader(src)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEscapedIdentifiers(t *testing.T) {
+	src := "module m (a, y);\n input a;\n output y;\n BUF_X1 \\u1$weird (.A(a), .Y(y));\nendmodule\n"
+	nl, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.GateByName("u1$weird") == nil {
+		t.Fatal("escaped identifier lost")
+	}
+}
+
+func randomDAG(rng *rand.Rand, nPI, nGates int) *netlist.Netlist {
+	nl := netlist.New("rnd")
+	for i := 0; i < nPI; i++ {
+		nl.AddPI(pname("in", i))
+	}
+	types := []netlist.GateType{netlist.And, netlist.Or, netlist.Nand, netlist.Nor,
+		netlist.Xor, netlist.Xnor, netlist.Inv, netlist.Buf, netlist.Mux}
+	for i := 0; i < nGates; i++ {
+		gt := types[rng.Intn(len(types))]
+		nin := gt.MinInputs()
+		if gt.MaxInputs() > nin && gt != netlist.Mux {
+			nin += rng.Intn(gt.MaxInputs() - nin + 1)
+		}
+		if gt == netlist.Mux {
+			nin = 3
+		}
+		fanin := make([]int, nin)
+		for p := range fanin {
+			fanin[p] = rng.Intn(len(nl.Nets))
+		}
+		nl.AddGate(pname("g", i), gt, fanin...)
+	}
+	for _, n := range nl.Nets {
+		if n.FanoutCount() == 0 {
+			nl.AddPO("po_"+n.Name, n.ID)
+		}
+	}
+	return nl
+}
+
+func pname(p string, i int) string {
+	return p + "_" + strings.Repeat("x", i%3) + string(rune('a'+i%26)) + itoa(i)
+}
+
+func itoa(i int) string {
+	digits := "0123456789"
+	if i == 0 {
+		return "0"
+	}
+	s := ""
+	for i > 0 {
+		s = string(digits[i%10]) + s
+		i /= 10
+	}
+	return s
+}
+
+func TestPropertyRoundTripPreservesFunction(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nl := randomDAG(rng, 3+rng.Intn(5), 5+rng.Intn(40))
+		var buf bytes.Buffer
+		if Write(&buf, nl) != nil {
+			return false
+		}
+		got, err := Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Logf("parse error: %v", err)
+			return false
+		}
+		// PI order may differ (sorted); map by name for comparison.
+		if got.NumPIs() != nl.NumPIs() || got.NumPOs() != nl.NumPOs() || got.NumGates() != nl.NumGates() {
+			return false
+		}
+		// Build permuted stimulus so that same-named PIs get same values.
+		words := 8
+		base := sim.RandomPatterns(rng, nl.NumPIs(), words)
+		byName := map[string][]uint64{}
+		for i, n := range nl.PINames {
+			byName[n] = base[i]
+		}
+		perm := make([][]uint64, got.NumPIs())
+		for i, n := range got.PINames {
+			perm[i] = byName[n]
+		}
+		s1, err := sim.New(nl)
+		if err != nil {
+			return false
+		}
+		s2, err := sim.New(got)
+		if err != nil {
+			return false
+		}
+		v1, err := s1.Eval(base, words)
+		if err != nil {
+			return false
+		}
+		v2, err := s2.Eval(perm, words)
+		if err != nil {
+			return false
+		}
+		p1, p2 := s1.POWords(v1), s2.POWords(v2)
+		poIdx := map[string]int{}
+		for i, n := range got.PONames {
+			poIdx[n] = i
+		}
+		for i, n := range nl.PONames {
+			j, ok := poIdx[n]
+			if !ok {
+				return false
+			}
+			for w := 0; w < words; w++ {
+				if p1[i][w] != p2[j][w] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteErroneousNetlistRoundTrip(t *testing.T) {
+	// The flow exports the erroneous netlist as Verilog (cmd/smflow); the
+	// round trip must preserve its (wrong) function exactly.
+	nl := buildFullAdder()
+	mod := nl.Clone()
+	// swap two pins to emulate randomization
+	x2 := mod.GateByName("x2").ID
+	a1 := mod.GateByName("a1").ID
+	if err := mod.SwapSinks(netlist.PinRef{Gate: x2, Pin: 1}, netlist.PinRef{Gate: a1, Pin: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, mod); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	eq, err := sim.Equivalent(mod, got, rng, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatal("erroneous netlist round trip changed function")
+	}
+	// And it must NOT equal the original.
+	eq, err = sim.Equivalent(nl, got, rng, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Fatal("swap lost in round trip")
+	}
+}
