@@ -1,0 +1,246 @@
+package splitmfg
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fastOptions keeps API tests quick: c432-scale work, shallow simulation.
+func fastOptions(extra ...Option) []Option {
+	opts := []Option{
+		WithSeed(7),
+		WithPatternWords(16),
+		WithMaxAttempts(1),
+	}
+	return append(opts, extra...)
+}
+
+// runOnce protects c432 and evaluates its protected layout, returning both
+// reports marshalled to JSON.
+func runOnce(t *testing.T, opts ...Option) ([]byte, []byte) {
+	t.Helper()
+	design, err := LoadBenchmark("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := New(opts...)
+	ctx := context.Background()
+	res, err := pipe.Protect(ctx, design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec, err := pipe.Evaluate(ctx, res.ProtectedLayout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pj, err := MarshalReport(res.Report())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj, err := MarshalReport(sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pj, sj
+}
+
+// TestReportDeterminism: the same seed and options must produce
+// byte-identical JSON reports across independent pipeline instances.
+func TestReportDeterminism(t *testing.T) {
+	p1, s1 := runOnce(t, fastOptions()...)
+	p2, s2 := runOnce(t, fastOptions()...)
+	if !bytes.Equal(p1, p2) {
+		t.Fatalf("protect reports differ:\n%s\nvs\n%s", p1, p2)
+	}
+	if !bytes.Equal(s1, s2) {
+		t.Fatalf("security reports differ:\n%s\nvs\n%s", s1, s2)
+	}
+}
+
+// TestEvaluateSerialEqualsParallel: averaged CCR/OER/HD (and the whole
+// per-layer report) must be identical whether layers are attacked serially
+// or concurrently.
+func TestEvaluateSerialEqualsParallel(t *testing.T) {
+	_, serial := runOnce(t, fastOptions(WithParallelism(1))...)
+	_, parallel := runOnce(t, fastOptions(WithParallelism(8))...)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("serial vs parallel evaluation reports differ:\n%s\nvs\n%s", serial, parallel)
+	}
+}
+
+// TestProtectCancellation: a context cancelled mid-flight must abort
+// Protect promptly with ctx.Err().
+func TestProtectCancellation(t *testing.T) {
+	design, err := LoadBenchmark("c880")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+
+	// Pre-cancelled context: immediate error.
+	cancel()
+	if _, err := New(fastOptions()...).Protect(ctx, design); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled Protect returned %v, want context.Canceled", err)
+	}
+
+	// Cancel on the first progress event: Protect must stop at the next
+	// stage boundary rather than finish the escalation loop.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	var once sync.Once
+	pipe := New(fastOptions(WithProgress(func(ProgressEvent) { once.Do(cancel2) }))...)
+	start := time.Now()
+	_, err = pipe.Protect(ctx2, design)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run cancelled Protect returned %v, want context.Canceled", err)
+	}
+	// Generous bound: a full c880 protect run takes much longer than a
+	// single remaining stage.
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("cancellation took %v, not prompt", elapsed)
+	}
+}
+
+// TestEvaluateCancellation: a cancelled context aborts Evaluate.
+func TestEvaluateCancellation(t *testing.T) {
+	design, err := LoadBenchmark("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := New(fastOptions()...)
+	l, err := pipe.Baseline(context.Background(), design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := pipe.Evaluate(ctx, l); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Evaluate returned %v, want context.Canceled", err)
+	}
+}
+
+// TestProgressEventOrdering: Protect must report stages in flow order
+// within each escalation attempt, and serial Evaluate must report attack
+// layers in the requested order.
+func TestProgressEventOrdering(t *testing.T) {
+	design, err := LoadBenchmark("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var events []ProgressEvent
+	record := func(ev ProgressEvent) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	}
+	pipe := New(fastOptions(WithProgress(record), WithParallelism(1), WithSplitLayers(3, 4, 5))...)
+	ctx := context.Background()
+	res, err := pipe.Protect(ctx, design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	protectEvents := append([]ProgressEvent(nil), events...)
+	events = nil
+	if _, err := pipe.Evaluate(ctx, res.ProtectedLayout()); err != nil {
+		t.Fatal(err)
+	}
+	attackEvents := append([]ProgressEvent(nil), events...)
+
+	// Baseline build precedes protected work; within an attempt the stages
+	// follow the flow order.
+	order := map[Stage]int{
+		StageRandomize: 0, StagePlace: 1, StageLift: 2, StageRoute: 3,
+		StageRestore: 4, StageVerify: 5, StagePPA: 6,
+	}
+	if len(protectEvents) == 0 {
+		t.Fatal("no progress events from Protect")
+	}
+	if protectEvents[0].Detail != "baseline" || protectEvents[0].Stage != StagePlace {
+		t.Fatalf("first event = %+v, want baseline place", protectEvents[0])
+	}
+	lastAttempt, lastOrder := 0, -1
+	for _, ev := range protectEvents {
+		if ev.Detail == "baseline" {
+			if ev.Attempt != 0 {
+				t.Fatalf("baseline event with attempt %d: %+v", ev.Attempt, ev)
+			}
+			continue
+		}
+		if ev.Attempt < lastAttempt {
+			t.Fatalf("attempt went backwards: %+v after attempt %d", ev, lastAttempt)
+		}
+		if ev.Attempt > lastAttempt {
+			lastAttempt, lastOrder = ev.Attempt, -1
+		}
+		o, ok := order[ev.Stage]
+		if !ok {
+			t.Fatalf("unexpected stage %q during Protect", ev.Stage)
+		}
+		if o <= lastOrder {
+			t.Fatalf("stage %q out of order within attempt %d", ev.Stage, ev.Attempt)
+		}
+		lastOrder = o
+	}
+
+	// Serial Evaluate reports attack layers in request order with timings.
+	if len(attackEvents) != 3 {
+		t.Fatalf("got %d attack events, want 3: %+v", len(attackEvents), attackEvents)
+	}
+	for i, want := range []int{3, 4, 5} {
+		ev := attackEvents[i]
+		if ev.Stage != StageAttack || ev.Layer != want {
+			t.Fatalf("attack event %d = %+v, want layer %d", i, ev, want)
+		}
+		if ev.Elapsed <= 0 {
+			t.Fatalf("attack event %d has no timing: %+v", i, ev)
+		}
+	}
+}
+
+// TestCatalog: the catalog lists every loadable benchmark and rejects
+// unknown names.
+func TestCatalog(t *testing.T) {
+	names := Benchmarks()
+	if len(names) != 14 {
+		t.Fatalf("catalog has %d entries, want 14: %v", len(names), names)
+	}
+	for _, name := range []string{"c432", "superblue18"} {
+		d, err := LoadBenchmark(name, WithScale(800))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Stats().Gates == 0 {
+			t.Fatalf("%s loaded empty", name)
+		}
+	}
+	if _, err := LoadBenchmark("c9999"); err == nil {
+		t.Fatal("unknown benchmark loaded")
+	}
+}
+
+// TestAttackEntryPoint: Pipeline.Attack on an unprotected design recovers
+// a meaningful fraction of connections (the paper's baseline observation).
+func TestAttackEntryPoint(t *testing.T) {
+	design, err := LoadBenchmark("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec, err := New(fastOptions()...).Attack(context.Background(), design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sec.Fragments == 0 {
+		t.Fatal("attack scored no fragments")
+	}
+	if sec.CCRPercent <= 0 {
+		t.Fatalf("attack on unprotected design recovered nothing: %+v", sec)
+	}
+	if len(sec.PerLayer) != 3 {
+		t.Fatalf("expected 3 per-layer reports, got %d", len(sec.PerLayer))
+	}
+}

@@ -8,6 +8,7 @@
 package splitmfg
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -187,8 +188,8 @@ func BenchmarkAblationAttackHints(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		proximity.Attack(d, sv, proximity.DefaultOptions())
-		proximity.Attack(d, sv, proximity.Options{Candidates: 24}) // distance only
+		proximity.Attack(context.Background(), d, sv, proximity.DefaultOptions())
+		proximity.Attack(context.Background(), d, sv, proximity.Options{Candidates: 24}) // distance only
 	}
 }
 
@@ -202,12 +203,13 @@ func BenchmarkAblationCellPlacement(b *testing.B) {
 	}
 	lib := cell.NewNangate45Like()
 	for i := 0; i < b.N; i++ {
-		res, err := flow.Protect(nl, lib, flow.Config{Seed: int64(i + 1), LiftLayer: 6, UtilPercent: 70})
+		res, err := flow.Protect(context.Background(), nl, lib, flow.Config{Seed: int64(i + 1), LiftLayer: 6, UtilPercent: 70})
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := flow.EvaluateSecurity(res.Protected.Design, nl, []int{3},
-			res.Protected.ProtectedSinks(), 1, 16); err != nil {
+		if _, err := flow.EvaluateSecurity(context.Background(), res.Protected.Design, nl, flow.EvalOptions{
+			SplitLayers: []int{3}, OnlyPins: res.Protected.ProtectedSinks(), Seed: 1, PatternWords: 16,
+		}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -222,7 +224,7 @@ func BenchmarkFullFlowC880(b *testing.B) {
 	lib := cell.NewNangate45Like()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := flow.Protect(nl, lib, flow.Config{Seed: 1, LiftLayer: 6, UtilPercent: 70}); err != nil {
+		if _, err := flow.Protect(context.Background(), nl, lib, flow.Config{Seed: 1, LiftLayer: 6, UtilPercent: 70}); err != nil {
 			b.Fatal(err)
 		}
 	}

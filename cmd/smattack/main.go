@@ -10,22 +10,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
-	"splitmfg/internal/attack/crouting"
-	"splitmfg/internal/bench"
-	"splitmfg/internal/cell"
-	"splitmfg/internal/defense/correction"
-	"splitmfg/internal/defense/randomize"
-	"splitmfg/internal/flow"
-	"splitmfg/internal/layout"
-	"splitmfg/internal/netlist"
-
-	"math/rand"
+	"splitmfg"
 )
 
 func main() {
@@ -35,68 +27,8 @@ func main() {
 	splits := flag.String("split", "3,4,5", "comma-separated split layers")
 	scale := flag.Int("scale", 300, "superblue scale divisor")
 	seed := flag.Int64("seed", 1, "seed")
+	jsonOut := flag.Bool("json", false, "emit the security report as JSON")
 	flag.Parse()
-
-	var (
-		nl    *netlist.Netlist
-		err   error
-		util  = 70
-		liftL = 6
-	)
-	if strings.HasPrefix(*name, "superblue") {
-		nl, err = bench.Superblue(*name, *scale)
-		if err == nil {
-			util, err = bench.SuperblueUtil(*name)
-		}
-		liftL = 8
-	} else {
-		nl, err = bench.ISCAS85(*name)
-	}
-	if err != nil {
-		fatal(err)
-	}
-	lib := cell.NewNangate45Like()
-	copt := correction.Options{LiftLayer: liftL, UtilPercent: util, Seed: *seed}
-
-	var d *layout.Design
-	var filter map[netlist.PinRef]bool
-	switch *variant {
-	case "original":
-		d, err = correction.BuildOriginal(nl, lib, copt)
-	case "proposed":
-		rng := rand.New(rand.NewSource(*seed))
-		var r *randomize.Result
-		r, err = randomize.Randomize(nl, rng, randomize.Options{})
-		if err == nil {
-			var p *correction.Protected
-			p, err = correction.BuildProtected(nl, r, lib, copt)
-			if err == nil {
-				d = p.Design
-				filter = p.ProtectedSinks()
-			}
-		}
-	case "lifted":
-		rng := rand.New(rand.NewSource(*seed))
-		var r *randomize.Result
-		r, err = randomize.Randomize(nl, rng, randomize.Options{})
-		if err == nil {
-			var sinks []netlist.PinRef
-			for pin := range r.Protected {
-				sinks = append(sinks, pin)
-			}
-			var p *correction.Protected
-			p, err = correction.BuildNaiveLifted(nl, sinks, lib, copt)
-			if err == nil {
-				d = p.Design
-				filter = p.ProtectedSinks()
-			}
-		}
-	default:
-		fatal(fmt.Errorf("unknown variant %q", *variant))
-	}
-	if err != nil {
-		fatal(err)
-	}
 
 	var layers []int
 	for _, s := range strings.Split(*splits, ",") {
@@ -107,27 +39,68 @@ func main() {
 		layers = append(layers, v)
 	}
 
+	design, err := splitmfg.LoadBenchmark(*name, splitmfg.WithScale(*scale))
+	if err != nil {
+		fatal(err)
+	}
+	pipe := splitmfg.New(
+		splitmfg.WithSeed(*seed),
+		splitmfg.WithSplitLayers(layers...),
+	)
+
+	ctx := context.Background()
+	var l *splitmfg.Layout
+	switch *variant {
+	case "original":
+		l, err = pipe.Baseline(ctx, design)
+	case "proposed":
+		// Attacker's view: the protected layout alone, skipping the
+		// baseline build and PPA accounting Protect would also do.
+		l, err = pipe.Randomized(ctx, design)
+	case "lifted":
+		l, err = pipe.NaiveLifted(ctx, design)
+	default:
+		fatal(fmt.Errorf("unknown variant %q", *variant))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
 	switch *attackKind {
 	case "proximity":
-		sec, err := flow.EvaluateSecurity(d, nl, layers, filter, *seed, 256)
+		sec, err := pipe.Evaluate(ctx, l)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("%s %s: network-flow attack over splits %v\n", *name, *variant, layers)
-		fmt.Printf("CCR %.1f%%  OER %.1f%%  HD %.1f%%  (%d fragments scored, %d non-vacuous layers)\n",
-			sec.CCR*100, sec.OER*100, sec.HD*100, sec.Protected, sec.Layers)
-	case "crouting":
-		for _, layer := range layers {
-			sv, err := d.Split(layer)
+		if *jsonOut {
+			b, err := splitmfg.MarshalReport(sec)
 			if err != nil {
 				fatal(err)
 			}
-			res := crouting.Attack(d, sv, nl, crouting.DefaultOptions())
-			fmt.Printf("%s %s split M%d: vpins=%d", *name, *variant, layer, res.NumVPins)
-			for _, b := range []int{15, 30, 45} {
-				fmt.Printf("  E[LS]%d=%.2f", b, res.AvgListSize[b])
+			fmt.Println(string(b))
+			return
+		}
+		fmt.Printf("%s %s: network-flow attack over splits %v\n", *name, *variant, layers)
+		fmt.Println(splitmfg.Headline(*sec))
+	case "crouting":
+		reps, err := pipe.CRouting(ctx, l)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			b, err := splitmfg.MarshalReport(reps)
+			if err != nil {
+				fatal(err)
 			}
-			fmt.Printf("  match45=%.2f\n", res.MatchInList[45])
+			fmt.Println(string(b))
+			return
+		}
+		for _, r := range reps {
+			fmt.Printf("%s %s split M%d: vpins=%d", *name, *variant, r.Layer, r.VPins)
+			for _, b := range []int{15, 30, 45} {
+				fmt.Printf("  E[LS]%d=%.2f", b, r.AvgListSize[b])
+			}
+			fmt.Printf("  match45=%.2f\n", r.MatchInList[45])
 		}
 	default:
 		fatal(fmt.Errorf("unknown attack %q", *attackKind))

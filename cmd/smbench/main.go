@@ -17,7 +17,7 @@ import (
 	"os"
 	"strings"
 
-	"splitmfg/internal/report"
+	"splitmfg"
 )
 
 func main() {
@@ -29,13 +29,25 @@ func main() {
 	fig4Design := flag.String("fig4design", "superblue18", "design for fig4/fig5 series")
 	flag.Parse()
 
-	cfg := report.Config{
+	cfg := splitmfg.ExperimentConfig{
 		Seed:           *seed,
 		SuperblueScale: *scale,
 		PatternWords:   *words,
 	}
 	if *subset != "" {
 		cfg.ISCASSubset = strings.Split(*subset, ",")
+	}
+
+	if *exp != "all" && *exp != "fig4" {
+		known := false
+		for _, name := range splitmfg.Experiments() {
+			known = known || name == *exp
+		}
+		if !known {
+			fmt.Fprintf(os.Stderr, "smbench: unknown experiment %q (have fig4, %s)\n",
+				*exp, strings.Join(splitmfg.Experiments(), ", "))
+			os.Exit(1)
+		}
 	}
 
 	run := func(name string, f func() error) {
@@ -50,9 +62,9 @@ func main() {
 		fmt.Println()
 	}
 
-	table := func(f func(report.Config) (*report.Table, error)) func() error {
+	table := func(name string) func() error {
 		return func() error {
-			t, err := f(cfg)
+			t, err := splitmfg.RunExperiment(name, cfg)
 			if err != nil {
 				return err
 			}
@@ -61,14 +73,11 @@ func main() {
 		}
 	}
 
-	run("table1", table(report.Table1))
-	run("table2", table(report.Table2))
-	run("table3", table(report.Table3))
-	run("table4", table(report.Table4))
-	run("table5", table(report.Table5))
-	run("table6", table(report.Table6))
+	for _, name := range []string{"table1", "table2", "table3", "table4", "table5", "table6"} {
+		run(name, table(name))
+	}
 	run("fig4", func() error {
-		csv, err := report.Fig4CSV(*fig4Design, cfg)
+		csv, err := splitmfg.Fig4CSV(*fig4Design, cfg)
 		if err != nil {
 			return err
 		}
@@ -76,28 +85,14 @@ func main() {
 		return nil
 	})
 	run("fig5", func() error {
-		t, err := report.Fig5(*fig4Design, cfg)
+		t, err := splitmfg.Fig5(*fig4Design, cfg)
 		if err != nil {
 			return err
 		}
 		fmt.Print(t.Render())
 		return nil
 	})
-	run("fig6", func() error {
-		t, _, err := report.Fig6PPA(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Print(t.Render())
-		return nil
-	})
-	run("ppa", table(report.SuperbluePPA))
-	run("ablation", func() error {
-		t, err := report.AblationSwapBudget("c880", []int{4, 8, 16, 32, 64}, cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Print(t.Render())
-		return nil
-	})
+	run("fig6", table("fig6"))
+	run("ppa", table("ppa"))
+	run("ablation", table("ablation"))
 }

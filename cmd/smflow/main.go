@@ -6,20 +6,17 @@
 //
 //	smflow -bench c432 -lift 6 -budget 20 -out c432_protected.def
 //	smflow -bench superblue18 -scale 300 -lift 8 -budget 5
+//	smflow -bench c880 -json -progress
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"strings"
 
-	"splitmfg/internal/bench"
-	"splitmfg/internal/cell"
-	"splitmfg/internal/defio"
-	"splitmfg/internal/flow"
-	"splitmfg/internal/netlist"
-	"splitmfg/internal/verilog"
+	"splitmfg"
 )
 
 func main() {
@@ -31,88 +28,76 @@ func main() {
 	util := flag.Int("util", 0, "placement utilization (default: 70 ISCAS, published superblue values)")
 	out := flag.String("out", "", "write protected-layout DEF to this file")
 	vout := flag.String("verilog", "", "write the erroneous (FEOL) netlist as Verilog to this file")
+	jsonOut := flag.Bool("json", false, "emit the protect+security reports as JSON")
+	progress := flag.Bool("progress", false, "stream per-stage progress to stderr")
 	flag.Parse()
 
-	var (
-		nl  *netlist.Netlist
-		err error
-	)
-	isSB := strings.HasPrefix(*name, "superblue")
-	if isSB {
-		nl, err = bench.Superblue(*name, *scale)
-		if *lift == 0 {
-			*lift = 8
-		}
-		if *budget == 0 {
-			*budget = 5
-		}
-		if *util == 0 {
-			*util, _ = bench.SuperblueUtil(*name)
+	design, err := splitmfg.LoadBenchmark(*name, splitmfg.WithScale(*scale))
+	if err != nil {
+		fatal(err)
+	}
+	opts := []splitmfg.Option{
+		splitmfg.WithSeed(*seed),
+		splitmfg.WithLiftLayer(*lift),
+		splitmfg.WithUtilization(*util),
+		splitmfg.WithPPABudget(*budget),
+	}
+	if *progress {
+		opts = append(opts, splitmfg.WithProgress(splitmfg.ProgressLogger(os.Stderr)))
+	}
+	pipe := splitmfg.New(opts...)
+
+	ctx := context.Background()
+	res, err := pipe.Protect(ctx, design)
+	if err != nil {
+		fatal(err)
+	}
+	sec, err := pipe.Evaluate(ctx, res.ProtectedLayout())
+	if err != nil {
+		fatal(err)
+	}
+
+	rep := res.Report()
+	if *jsonOut {
+		for _, v := range []interface{}{rep, sec} {
+			b, err := splitmfg.MarshalReport(v)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(string(b))
 		}
 	} else {
-		nl, err = bench.ISCAS85(*name)
-		if *lift == 0 {
-			*lift = 6
-		}
-		if *budget == 0 {
-			*budget = 20
-		}
-		if *util == 0 {
-			*util = 70
-		}
+		fmt.Printf("design        %s (%v)\n", design.Name(), design.Stats())
+		fmt.Printf("swaps         %d (erroneous-netlist OER %.3f)\n", rep.Swaps, rep.ErroneousOER)
+		fmt.Printf("baseline PPA  area %.1fum2 power %.1fuW delay %.1fps\n",
+			rep.BasePPA.AreaUM2, rep.BasePPA.PowerUW, rep.BasePPA.DelayPS)
+		fmt.Printf("restored PPA  area %.1fum2 power %.1fuW delay %.1fps\n",
+			rep.FinalPPA.AreaUM2, rep.FinalPPA.PowerUW, rep.FinalPPA.DelayPS)
+		fmt.Printf("overheads     area %.1f%%  power %.1f%%  delay %.1f%%  (budget %.0f%%)\n",
+			rep.AreaOHPct, rep.PowerOHPct, rep.DelayOHPct, rep.BudgetPercent)
+		fmt.Printf("attack        %s (M3/M4/M5 avg)\n", splitmfg.Headline(*sec))
 	}
-	if err != nil {
-		fatal(err)
-	}
-
-	lib := cell.NewNangate45Like()
-	res, err := flow.Protect(nl, lib, flow.Config{
-		LiftLayer: *lift, UtilPercent: *util, Seed: *seed, PPABudgetPercent: *budget,
-	})
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("design        %s (%v)\n", nl.Name, nl.ComputeStats())
-	fmt.Printf("swaps         %d (erroneous-netlist OER %.3f)\n", res.Swaps, res.OER)
-	fmt.Printf("baseline PPA  %v\n", res.BasePPA)
-	fmt.Printf("restored PPA  %v\n", res.FinalPPA)
-	fmt.Printf("overheads     area %.1f%%  power %.1f%%  delay %.1f%%  (budget %.0f%%)\n",
-		res.AreaOH, res.PowerOH, res.DelayOH, res.Budget)
-
-	sec, err := flow.EvaluateSecurity(res.Protected.Design, nl, []int{3, 4, 5},
-		res.Protected.ProtectedSinks(), *seed, 256)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("attack        CCR %.1f%%  OER %.1f%%  HD %.1f%% over %d protected fragments (M3/M4/M5 avg)\n",
-		sec.CCR*100, sec.OER*100, sec.HD*100, sec.Protected)
 
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fatal(err)
-		}
-		if err := defio.Write(f, res.Protected.Design); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("wrote         %s\n", *out)
+		writeFile(*out, res.WriteDEF)
 	}
 	if *vout != "" {
-		f, err := os.Create(*vout)
-		if err != nil {
-			fatal(err)
-		}
-		if err := verilog.Write(f, res.Protected.Erroneous); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("wrote         %s\n", *vout)
+		writeFile(*vout, res.WriteErroneousVerilog)
 	}
+}
+
+func writeFile(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := write(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote         %s\n", path)
 }
 
 func fatal(err error) {

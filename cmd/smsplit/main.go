@@ -10,16 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"strings"
 
-	"splitmfg/internal/bench"
-	"splitmfg/internal/cell"
-	"splitmfg/internal/defense/correction"
-	"splitmfg/internal/defio"
-	"splitmfg/internal/netlist"
+	"splitmfg"
 )
 
 func main() {
@@ -34,29 +31,24 @@ func main() {
 	if prefix == "" {
 		prefix = *name
 	}
-	var (
-		nl   *netlist.Netlist
-		err  error
-		util = 70
-	)
-	if strings.HasPrefix(*name, "superblue") {
-		nl, err = bench.Superblue(*name, *scale)
-		if err == nil {
-			util, err = bench.SuperblueUtil(*name)
-		}
-	} else {
-		nl, err = bench.ISCAS85(*name)
-	}
+	design, err := splitmfg.LoadBenchmark(*name, splitmfg.WithScale(*scale))
 	if err != nil {
 		fatal(err)
 	}
-	lib := cell.NewNangate45Like()
-	d, err := correction.BuildOriginal(nl, lib, correction.Options{UtilPercent: util, Seed: *seed})
+	pipe := splitmfg.New(splitmfg.WithSeed(*seed))
+	l, err := pipe.Baseline(context.Background(), design)
 	if err != nil {
 		fatal(err)
 	}
 
-	write := func(path string, f func(*os.File) error) {
+	// Validate the split before creating any output file, so a bad layer
+	// doesn't leave partial artifacts behind.
+	sum, err := l.Split(*layer)
+	if err != nil {
+		fatal(err)
+	}
+
+	write := func(path string, f func(io.Writer) error) {
 		fh, err := os.Create(path)
 		if err != nil {
 			fatal(err)
@@ -69,16 +61,12 @@ func main() {
 		}
 		fmt.Println("wrote", path)
 	}
-	write(prefix+"_feol.def", func(f *os.File) error { return defio.WriteSplit(f, d, *layer) })
-	write(prefix+".rt", func(f *os.File) error { return defio.WriteRT(f, d) })
-	write(prefix+".out", func(f *os.File) error { return defio.WriteOut(f, d, *layer) })
+	write(prefix+"_feol.def", func(w io.Writer) error { return l.WriteSplitDEF(w, *layer) })
+	write(prefix+".rt", l.WriteRT)
+	write(prefix+".out", func(w io.Writer) error { return l.WriteOut(w, *layer) })
 
-	sv, err := d.Split(*layer)
-	if err != nil {
-		fatal(err)
-	}
 	fmt.Printf("split after M%d: %d vpins, %d fragments (%d driver-side, %d open sink-side)\n",
-		*layer, len(sv.VPins), len(sv.Frags), len(sv.DriverFrags()), len(sv.SinkFrags()))
+		sum.Layer, sum.VPins, sum.Fragments, sum.DriverFrags, sum.SinkFrags)
 }
 
 func fatal(err error) {

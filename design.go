@@ -1,0 +1,111 @@
+package splitmfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"splitmfg/internal/bench"
+	"splitmfg/internal/netlist"
+)
+
+// Design is a benchmark netlist loaded from the catalog, together with the
+// paper's recommended physical-design settings for it (lift layer, PPA
+// budget, placement utilization). It is the input to Pipeline.Protect and
+// Pipeline.Attack.
+type Design struct {
+	name      string
+	nl        *netlist.Netlist
+	superblue bool
+
+	recLift   int     // recommended lift layer (6 ISCAS, 8 superblue)
+	recBudget float64 // recommended PPA budget percent (20 ISCAS, 5 superblue)
+	recUtil   int     // recommended placement utilization
+}
+
+// DesignStats summarizes the structure of a loaded design.
+type DesignStats struct {
+	Gates      int
+	Nets       int
+	PIs        int
+	POs        int
+	DFFs       int
+	Depth      int     // longest combinational path in gate levels
+	AvgFanout  float64 // mean sinks per net
+	MaxFanout  int
+	TwoPinNets int
+}
+
+// BenchmarkOption configures LoadBenchmark.
+type BenchmarkOption func(*benchConfig)
+
+type benchConfig struct {
+	scale int
+}
+
+// WithScale sets the superblue scale divisor (1 = published full size;
+// default 300, which runs in seconds). It has no effect on ISCAS designs.
+func WithScale(scale int) BenchmarkOption {
+	return func(c *benchConfig) { c.scale = scale }
+}
+
+// Benchmarks lists the catalog: the nine ISCAS-85 circuits followed by the
+// five IBM superblue designs, each loadable with LoadBenchmark.
+func Benchmarks() []string {
+	names := append([]string(nil), bench.ISCASNames()...)
+	sb := append([]string(nil), bench.SuperblueNames()...)
+	sort.Strings(sb)
+	return append(names, sb...)
+}
+
+// LoadBenchmark loads one catalog benchmark by name ("c432".."c7552" or
+// "superblue1/5/10/12/18") and attaches the paper's recommended settings
+// for it. Superblue designs accept WithScale.
+func LoadBenchmark(name string, opts ...BenchmarkOption) (*Design, error) {
+	cfg := benchConfig{scale: 300}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	d := &Design{name: name}
+	var err error
+	if strings.HasPrefix(name, "superblue") {
+		d.superblue = true
+		d.recLift = 8
+		d.recBudget = 5
+		d.nl, err = bench.Superblue(name, cfg.scale)
+		if err == nil {
+			d.recUtil, err = bench.SuperblueUtil(name)
+		}
+	} else {
+		d.recLift = 6
+		d.recBudget = 20
+		d.recUtil = 70
+		d.nl, err = bench.ISCAS85(name)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("splitmfg: load %q: %v", name, err)
+	}
+	return d, nil
+}
+
+// Name returns the benchmark name.
+func (d *Design) Name() string { return d.name }
+
+// Superblue reports whether this is an industrial superblue design.
+func (d *Design) Superblue() bool { return d.superblue }
+
+// Stats derives structural statistics of the design's netlist.
+func (d *Design) Stats() DesignStats {
+	s := d.nl.ComputeStats()
+	return DesignStats{
+		Gates: s.Gates, Nets: s.Nets, PIs: s.PIs, POs: s.POs, DFFs: s.DFFs,
+		Depth: s.Depth, AvgFanout: s.AvgFanout, MaxFanout: s.MaxFanout,
+		TwoPinNets: s.TwoPinNets,
+	}
+}
+
+// String formats the stats like the CLIs print them.
+func (s DesignStats) String() string {
+	return fmt.Sprintf("%d gates, %d nets, %d PIs, %d POs, depth %d",
+		s.Gates, s.Nets, s.PIs, s.POs, s.Depth)
+}

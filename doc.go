@@ -1,15 +1,34 @@
 // Package splitmfg reproduces "Raise Your Game for Split Manufacturing:
 // Restoring the True Functionality Through BEOL" (Patnaik, Ashraf,
-// Knechtel, Sinanoglu — DAC 2018) as a self-contained Go library.
+// Knechtel, Sinanoglu — DAC 2018) as a self-contained Go library with a
+// public pipeline API.
 //
-// The public surface is organized as internal packages (this repository is
-// a research artifact, not a semver API): see README.md for the module
-// map, DESIGN.md for the system inventory and paper-to-code experiment
-// index, and EXPERIMENTS.md for the paper-vs-measured comparison.
+// The root package is the public surface; the implementation lives in
+// internal packages. Build a Pipeline with functional options and run the
+// paper's flow end to end:
 //
-// The root package carries the benchmark harness (bench_test.go): one
+//	design, _ := splitmfg.LoadBenchmark("c880")
+//	pipe := splitmfg.New(splitmfg.WithSeed(42), splitmfg.WithPPABudget(20))
+//	res, _ := pipe.Protect(ctx, design)            // Fig. 2: randomize, P&R, lift, restore
+//	sec, _ := pipe.Evaluate(ctx, res.ProtectedLayout()) // proximity attack at M3/M4/M5
+//
+// Protect, Attack, and Evaluate take a context.Context and honor
+// cancellation at stage boundaries. WithProgress streams stage-completion
+// events with per-stage timings; WithParallelism fans the independent
+// split-layer attacks out over a worker pool with per-layer derived RNG
+// seeds, so reports are byte-identical at every parallelism level.
+// ProtectReport and SecurityReport are JSON-serializable and shared by the
+// CLIs (cmd/smflow, cmd/smattack, cmd/smbench, cmd/smsplit), the examples,
+// and the experiment generators; RunExperiment and its sibling functions
+// regenerate the paper's tables and figures.
+//
+// See README.md for the module map and quickstart, and DESIGN.md for the
+// system inventory, API invariants, and paper-to-code experiment index.
+//
+// The root package also carries the benchmark harness (bench_test.go): one
 // testing.B benchmark per table and figure of the paper plus the ablation
-// benches, all runnable with
+// benches and the serial-vs-parallel evaluation benchmark, all runnable
+// with
 //
 //	go test -bench=. -benchmem
 package splitmfg

@@ -1,0 +1,50 @@
+package splitmfg
+
+import (
+	"context"
+	"testing"
+)
+
+// benchmarkEvaluate measures one full security evaluation of a protected
+// c880 over split layers M3/M4/M5 at the given parallelism. The protected
+// layout is built once outside the timed loop; only the attack loop —
+// split, proximity attack, netlist recovery, simulation per layer — is
+// measured. Recorded so future PRs can track the parallel speedup:
+//
+//	go test -bench 'Evaluate(Serial|Parallel)' -benchtime=3x
+//
+// The three layer evaluations are independent CPU-bound tasks, so the
+// parallel variant approaches a 3x speedup with >= 3 available cores; on a
+// single-core machine the two benches coincide (modulo scheduling noise).
+func benchmarkEvaluate(b *testing.B, parallelism int) {
+	design, err := LoadBenchmark("c880")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	pipe := New(
+		WithSeed(1),
+		WithPatternWords(64),
+		WithMaxAttempts(1),
+		WithSplitLayers(3, 4, 5),
+		WithParallelism(parallelism),
+	)
+	res, err := pipe.Protect(ctx, design)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l := res.ProtectedLayout()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipe.Evaluate(ctx, l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluateSerialC880 is the pre-parallelization baseline: layers
+// attacked one at a time.
+func BenchmarkEvaluateSerialC880(b *testing.B) { benchmarkEvaluate(b, 1) }
+
+// BenchmarkEvaluateParallelC880 attacks the three layers concurrently.
+func BenchmarkEvaluateParallelC880(b *testing.B) { benchmarkEvaluate(b, 0) }

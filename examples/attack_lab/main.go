@@ -7,17 +7,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
 
-	"splitmfg/internal/attack/proximity"
-	"splitmfg/internal/bench"
-	"splitmfg/internal/cell"
-	"splitmfg/internal/defense/correction"
-	"splitmfg/internal/defense/randomize"
-	"splitmfg/internal/metrics"
+	"splitmfg"
 )
 
 func main() {
@@ -25,75 +20,41 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed")
 	flag.Parse()
 
-	nl, err := bench.ISCAS85(*name)
+	ctx := context.Background()
+	design, err := splitmfg.LoadBenchmark(*name)
 	if err != nil {
 		log.Fatal(err)
 	}
-	lib := cell.NewNangate45Like()
-	copt := correction.Options{LiftLayer: 6, UtilPercent: 70, Seed: *seed}
+	// One pipeline sweeping M3..M8; a shallow pattern depth keeps the
+	// twelve per-layer simulations fast.
+	pipe := splitmfg.New(
+		splitmfg.WithSeed(*seed),
+		splitmfg.WithLiftLayer(6),
+		splitmfg.WithUtilization(70),
+		splitmfg.WithSplitLayers(3, 4, 5, 6, 7, 8),
+		splitmfg.WithPatternWords(32),
+		splitmfg.WithMaxAttempts(1),
+	)
 
-	orig, err := correction.BuildOriginal(nl, lib, copt)
+	res, err := pipe.Protect(ctx, design)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(*seed))
-	r, err := randomize.Randomize(nl, rng, randomize.Options{})
+	orig, err := pipe.Evaluate(ctx, res.BaselineLayout())
 	if err != nil {
 		log.Fatal(err)
 	}
-	prot, err := correction.BuildProtected(nl, r, lib, copt)
+	prot, err := pipe.Evaluate(ctx, res.ProtectedLayout())
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("%s: split-layer sweep (network-flow attack)\n", *name)
 	fmt.Printf("%-6s | %-28s | %-28s\n", "split", "original (vpins/open/CCR%)", "proposed (vpins/open/CCR%)")
-	for layer := 3; layer <= 8; layer++ {
-		line := fmt.Sprintf("M%-5d", layer)
-		for i, d := range []*struct {
-			des    interface{}
-			isProt bool
-		}{{orig, false}, {prot.Design, true}} {
-			_ = i
-			design := orig
-			if d.isProt {
-				design = prot.Design
-			}
-			sv, err := design.Split(layer)
-			if err != nil {
-				log.Fatal(err)
-			}
-			res := proximity.Attack(design, sv, proximity.DefaultOptions())
-			var ccr metrics.CCRResult
-			if d.isProt {
-				// score protected sinks only
-				truth := metrics.TrueAssignment(design, sv, nl)
-				protPins := prot.ProtectedSinks()
-				for _, fid := range sv.SinkFrags() {
-					hit := false
-					for _, sp := range sv.Frags[fid].SinkPins() {
-						if protPins[sp.Ref] {
-							hit = true
-							break
-						}
-					}
-					if !hit {
-						continue
-					}
-					ccr.Protected++
-					if got, ok := res.Assignment[fid]; ok && got >= 0 && got == truth[fid] {
-						ccr.Correct++
-					}
-				}
-				if ccr.Protected > 0 {
-					ccr.CCR = float64(ccr.Correct) / float64(ccr.Protected)
-				}
-			} else {
-				ccr = metrics.CCR(design, sv, nl, res.Assignment)
-			}
-			line += fmt.Sprintf(" | %5d / %4d / %5.1f%%      ", len(sv.VPins), ccr.Protected, ccr.CCR*100)
-		}
-		fmt.Println(line)
+	for i, o := range orig.PerLayer {
+		p := prot.PerLayer[i]
+		fmt.Printf("M%-5d | %5d / %4d / %5.1f%%       | %5d / %4d / %5.1f%%\n",
+			o.Layer, o.VPins, o.Fragments, o.CCRPercent, p.VPins, p.Fragments, p.CCRPercent)
 	}
 	fmt.Println()
 	fmt.Println("Reading: for the original design the exposure shrinks with higher")

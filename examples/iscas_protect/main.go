@@ -10,7 +10,7 @@ import (
 	"log"
 	"strings"
 
-	"splitmfg/internal/report"
+	"splitmfg"
 )
 
 func main() {
@@ -18,13 +18,15 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed")
 	flag.Parse()
 
-	cfg := report.Config{Seed: *seed, ISCASSubset: strings.Split(*subset, ","), PatternWords: 128}
+	cfg := splitmfg.ExperimentConfig{
+		Seed: *seed, ISCASSubset: strings.Split(*subset, ","), PatternWords: 128,
+	}
 
 	fmt.Println("Attacking each defense variant with the network-flow proximity attack")
 	fmt.Println("(CCR/OER/HD in %, averaged over splits after M3, M4, M5)")
 	fmt.Println()
 	for _, variant := range []string{"original", "placement-perturbation", "g-color", "synergistic", "proposed"} {
-		rows, err := report.SecurityStudy(variant, cfg)
+		rows, err := splitmfg.SecurityStudy(variant, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

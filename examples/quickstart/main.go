@@ -1,59 +1,66 @@
 // Quickstart: protect one ISCAS-85 benchmark with the BEOL-restoration
 // scheme, attack both the original and the protected layout with the
-// network-flow proximity attack, and print the paper's headline metrics.
+// network-flow proximity attack, and print the paper's headline metrics —
+// entirely through the public splitmfg API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"splitmfg/internal/bench"
-	"splitmfg/internal/cell"
-	"splitmfg/internal/flow"
+	"splitmfg"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// 1. A benchmark netlist (c432-class stand-in with the published size).
-	nl, err := bench.ISCAS85("c432")
+	design, err := splitmfg.LoadBenchmark("c432")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("design:", nl.Name, nl.ComputeStats())
+	fmt.Println("design:", design.Name(), design.Stats())
 
-	// 2. Run the full protection flow: randomize to OER≈100%, place and
-	// route the erroneous netlist with correction cells, lift to M6,
-	// restore the truth through the BEOL, all within a 20% PPA budget.
-	lib := cell.NewNangate45Like()
-	res, err := flow.Protect(nl, lib, flow.Config{
-		LiftLayer: 6, UtilPercent: 70, Seed: 42, PPABudgetPercent: 20,
-	})
+	// 2. A pipeline configured like the paper's ISCAS setup: randomize to
+	// OER≈100%, place and route the erroneous netlist with correction
+	// cells, lift to M6, restore the truth through the BEOL, all within a
+	// 20% PPA budget.
+	pipe := splitmfg.New(
+		splitmfg.WithSeed(42),
+		splitmfg.WithLiftLayer(6),
+		splitmfg.WithUtilization(70),
+		splitmfg.WithPPABudget(20),
+	)
+	res, err := pipe.Protect(ctx, design)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("protected with %d swaps; erroneous-netlist OER = %.3f\n", res.Swaps, res.OER)
+	rep := res.Report()
+	fmt.Printf("protected with %d swaps; erroneous-netlist OER = %.3f\n", rep.Swaps, rep.ErroneousOER)
 	fmt.Printf("PPA overheads: area %.1f%%, power %.1f%%, delay %.1f%%\n",
-		res.AreaOH, res.PowerOH, res.DelayOH)
+		rep.AreaOHPct, rep.PowerOHPct, rep.DelayOHPct)
 
-	// 3. Attack both layouts (split after M3/M4/M5, averaged).
-	orig, err := flow.EvaluateSecurity(res.Baseline, nl, nil, nil, 42, 256)
+	// 3. Attack both layouts (split after M3/M4/M5, averaged, attacked in
+	// parallel).
+	orig, err := pipe.Evaluate(ctx, res.BaselineLayout())
 	if err != nil {
 		log.Fatal(err)
 	}
-	prot, err := flow.EvaluateSecurity(res.Protected.Design, nl, nil,
-		res.Protected.ProtectedSinks(), 42, 256)
+	prot, err := pipe.Evaluate(ctx, res.ProtectedLayout())
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("attack vs original : CCR %5.1f%%  OER %5.1f%%  HD %5.1f%%\n",
-		orig.CCR*100, orig.OER*100, orig.HD*100)
+		orig.CCRPercent, orig.OERPercent, orig.HDPercent)
 	fmt.Printf("attack vs protected: CCR %5.1f%%  OER %5.1f%%  HD %5.1f%%\n",
-		prot.CCR*100, prot.OER*100, prot.HD*100)
+		prot.CCRPercent, prot.OERPercent, prot.HDPercent)
 
 	// 4. The correctness guarantee: the BEOL-restored design equals the
 	// original netlist exactly.
-	rec, err := res.Protected.RestoredNetlist()
+	ok, err := res.VerifyRestoration()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("BEOL restoration recovers the original netlist:", rec.SameStructure(nl))
+	fmt.Println("BEOL restoration recovers the original netlist:", ok)
 }

@@ -9,7 +9,7 @@ import (
 	"fmt"
 	"log"
 
-	"splitmfg/internal/report"
+	"splitmfg"
 )
 
 func main() {
@@ -18,9 +18,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed")
 	flag.Parse()
 
-	cfg := report.Config{Seed: *seed, SuperblueScale: *scale}
+	cfg := splitmfg.ExperimentConfig{Seed: *seed, SuperblueScale: *scale}
 
-	t1, err := report.Table1(cfg)
+	t1, err := splitmfg.RunExperiment("table1", cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -33,14 +33,14 @@ func main() {
 	}
 	fmt.Println()
 
-	f5, err := report.Fig5(*design, cfg)
+	f5, err := splitmfg.Fig5(*design, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(f5.Render())
 	fmt.Println()
 
-	t3, err := report.Table3(cfg)
+	t3, err := splitmfg.RunExperiment("table3", cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,3 @@
+module splitmfg
+
+go 1.24

@@ -24,6 +24,7 @@
 package proximity
 
 import (
+	"context"
 	"sort"
 
 	"splitmfg/internal/geom"
@@ -63,7 +64,10 @@ type Result struct {
 
 // Attack recovers an assignment of sink fragments to driver fragments for
 // the given split view. ref-free: only FEOL-visible information is used.
-func Attack(d *layout.Design, sv *layout.SplitView, opt Options) Result {
+// The context is checked between per-sink candidate constructions and
+// before the flow solve; on cancellation the (partial) result so far is
+// returned and the caller observes ctx.Err().
+func Attack(ctx context.Context, d *layout.Design, sv *layout.SplitView, opt Options) Result {
 	if opt.Candidates == 0 {
 		opt.Candidates = 24
 	}
@@ -151,6 +155,9 @@ func Attack(d *layout.Design, sv *layout.SplitView, opt Options) Result {
 	}
 	var all []cand
 	for _, sfid := range sinks {
+		if ctx.Err() != nil {
+			return res
+		}
 		spt := sv.FragCenter(d, sfid)
 		sdirs := fragDirs(sv, sfid)
 		type scored struct {
@@ -228,6 +235,9 @@ func Attack(d *layout.Design, sv *layout.SplitView, opt Options) Result {
 	}
 	for i := range sinks {
 		g.addEdge(1+len(dinfos)+i, T, 1, 0)
+	}
+	if ctx.Err() != nil {
+		return res
 	}
 	g.run(S, T)
 

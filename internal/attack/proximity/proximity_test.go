@@ -1,6 +1,7 @@
 package proximity
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -47,7 +48,7 @@ func TestAttackOriginalLayoutHighCCR(t *testing.T) {
 	// a strong relative result: an order of magnitude above the random
 	// baseline of 1/#drivers, and at least half of c1908's fragments.
 	d, sv := buildSplit(t, "c1908", 3)
-	res := Attack(d, sv, DefaultOptions())
+	res := Attack(context.Background(), d, sv, DefaultOptions())
 	ccr := metrics.CCR(d, sv, d.Netlist, res.Assignment)
 	if ccr.Protected == 0 {
 		t.Fatal("nothing to attack")
@@ -64,7 +65,7 @@ func TestAttackOriginalLayoutHighCCR(t *testing.T) {
 
 func TestAttackCompleteAssignment(t *testing.T) {
 	d, sv := buildSplit(t, "c432", 3)
-	res := Attack(d, sv, DefaultOptions())
+	res := Attack(context.Background(), d, sv, DefaultOptions())
 	for _, sf := range sv.SinkFrags() {
 		if _, ok := res.Assignment[sf]; !ok {
 			t.Fatalf("sink fragment %d left unassigned", sf)
@@ -74,7 +75,7 @@ func TestAttackCompleteAssignment(t *testing.T) {
 
 func TestAttackRecoveredNetlistLowHD(t *testing.T) {
 	d, sv := buildSplit(t, "c432", 3)
-	res := Attack(d, sv, DefaultOptions())
+	res := Attack(context.Background(), d, sv, DefaultOptions())
 	rec := metrics.RecoverNetlist(d, sv, res.Assignment)
 	if err := rec.Validate(); err != nil {
 		t.Fatal(err)
@@ -95,7 +96,7 @@ func TestAttackRecoveredNetlistLowHD(t *testing.T) {
 
 func TestAttackNoLoops(t *testing.T) {
 	d, sv := buildSplit(t, "c880", 4)
-	res := Attack(d, sv, DefaultOptions())
+	res := Attack(context.Background(), d, sv, DefaultOptions())
 	rec := metrics.RecoverNetlist(d, sv, res.Assignment)
 	if rec.HasCombLoop() {
 		t.Fatal("loop-aware attack produced a combinational loop")
@@ -104,8 +105,8 @@ func TestAttackNoLoops(t *testing.T) {
 
 func TestHintAblationDistanceOnlyWeaker(t *testing.T) {
 	d, sv := buildSplit(t, "c1908", 3)
-	full := Attack(d, sv, DefaultOptions())
-	bare := Attack(d, sv, Options{Candidates: 24}) // distance only
+	full := Attack(context.Background(), d, sv, DefaultOptions())
+	bare := Attack(context.Background(), d, sv, Options{Candidates: 24}) // distance only
 	ccrFull := metrics.CCR(d, sv, d.Netlist, full.Assignment)
 	ccrBare := metrics.CCR(d, sv, d.Netlist, bare.Assignment)
 	// All-hints should be at least as good as distance-only (allow tiny
@@ -118,7 +119,7 @@ func TestHintAblationDistanceOnlyWeaker(t *testing.T) {
 func TestAttackEmptyView(t *testing.T) {
 	d, _ := buildSplit(t, "c432", 3)
 	empty := &layout.SplitView{Layer: 3, ByRoute: map[int][]int{}}
-	res := Attack(d, empty, DefaultOptions())
+	res := Attack(context.Background(), d, empty, DefaultOptions())
 	if len(res.Assignment) != 0 {
 		t.Fatal("assignment on empty view")
 	}
@@ -126,7 +127,7 @@ func TestAttackEmptyView(t *testing.T) {
 
 func TestCandidateLimitRespected(t *testing.T) {
 	d, sv := buildSplit(t, "c432", 3)
-	res := Attack(d, sv, Options{Candidates: 5})
+	res := Attack(context.Background(), d, sv, Options{Candidates: 5})
 	nSinks := len(sv.SinkFrags())
 	if nSinks > 0 && res.AvgCands > 5.0 {
 		t.Fatalf("avg candidates %.1f exceeds limit 5", res.AvgCands)
@@ -137,6 +138,6 @@ func BenchmarkAttackC880(b *testing.B) {
 	d, sv := buildSplit(b, "c880", 3)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Attack(d, sv, DefaultOptions())
+		Attack(context.Background(), d, sv, DefaultOptions())
 	}
 }

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"testing"
 
 	"splitmfg/internal/bench"
@@ -104,11 +105,11 @@ func TestSenguptaReducesAttackCCR(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	so, err := flow.EvaluateSecurity(orig, nl, []int{3, 4}, nil, 3, 16)
+	so, err := flow.EvaluateSecurity(context.Background(), orig, nl, flow.EvalOptions{SplitLayers: []int{3, 4}, Seed: 3, PatternWords: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sp, err := flow.EvaluateSecurity(prot, nl, []int{3, 4}, nil, 3, 16)
+	sp, err := flow.EvaluateSecurity(context.Background(), prot, nl, flow.EvalOptions{SplitLayers: []int{3, 4}, Seed: 3, PatternWords: 16})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -20,6 +20,8 @@ package correction
 import (
 	"fmt"
 	"math/rand"
+	"sort"
+	"time"
 
 	"splitmfg/internal/cell"
 	"splitmfg/internal/geom"
@@ -37,6 +39,17 @@ type Options struct {
 	UtilPercent int // placement utilization
 	Seed        int64
 	RouteOpt    route.Options
+
+	// Observe, when non-nil, is called after each build stage ("place",
+	// "lift", "route", "restore") with the stage's wall-clock duration.
+	Observe func(stage string, elapsed time.Duration)
+}
+
+// observe reports a completed stage to the observer, if any.
+func (o Options) observe(stage string, start time.Time) {
+	if o.Observe != nil {
+		o.Observe(stage, time.Since(start))
+	}
 }
 
 func (o Options) withDefaults() Options {
@@ -90,14 +103,18 @@ func BuildOriginal(nl *netlist.Netlist, lib *cell.Library, opt Options) (*layout
 	if err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	pl, err := place.Place(nl, masters, place.Options{UtilPercent: opt.UtilPercent, Seed: opt.Seed})
 	if err != nil {
 		return nil, err
 	}
+	opt.observe("place", start)
 	d := layout.NewDesign(nl, masters, pl, opt.RouteOpt)
+	start = time.Now()
 	if err := d.RouteAll(nil); err != nil {
 		return nil, err
 	}
+	opt.observe("route", start)
 	return d, nil
 }
 
@@ -126,10 +143,12 @@ func BuildProtected(original *netlist.Netlist, r *randomize.Result, lib *cell.Li
 	// wrong connectivity. The swapped drivers/sinks are do-not-touch in the
 	// paper's flow; our flow performs no logic restructuring, so the
 	// constraint is trivially honored.
+	start := time.Now()
 	pl, err := place.Place(erroneous, masters, place.Options{UtilPercent: opt.UtilPercent, Seed: opt.Seed})
 	if err != nil {
 		return nil, err
 	}
+	opt.observe("place", start)
 	d := layout.NewDesign(erroneous, masters, pl, opt.RouteOpt)
 
 	p := &Protected{
@@ -145,8 +164,9 @@ func BuildProtected(original *netlist.Netlist, r *randomize.Result, lib *cell.Li
 	// Embed one correction cell per protected sink, near the midpoint of
 	// its erroneous connection (the cell belongs to the erroneous net, so
 	// the FEOL stays self-consistent and misleading).
+	start = time.Now()
 	rng := rand.New(rand.NewSource(opt.Seed ^ 0x5eed))
-	for pin := range r.Protected {
+	for _, pin := range SortedPins(r.Protected) {
 		eNet := erroneous.Gates[pin.Gate].Fanin[pin.Pin]
 		dpt := driverPoint(d, eNet)
 		spt := pl.GateCenter(pin.Gate)
@@ -163,16 +183,38 @@ func BuildProtected(original *netlist.Netlist, r *randomize.Result, lib *cell.Li
 	if err := d.CheckExtrasLegal(); err != nil {
 		return nil, fmt.Errorf("correction: %v", err)
 	}
+	opt.observe("lift", start)
 
 	// Partition each erroneous net's sinks into protected and plain.
+	start = time.Now()
 	if err := p.routeErroneous(); err != nil {
 		return nil, err
 	}
+	opt.observe("route", start)
 	// BEOL restoration between pairs of correction cells.
+	start = time.Now()
 	if err := p.restore(); err != nil {
 		return nil, err
 	}
+	opt.observe("restore", start)
 	return p, nil
+}
+
+// SortedPins returns the set's pins in (gate, pin) order. Every consumer
+// that turns a protected-pin set into a slice must use it so that RNG
+// consumption and cell-ID assignment never depend on map iteration order.
+func SortedPins(m map[netlist.PinRef]bool) []netlist.PinRef {
+	pins := make([]netlist.PinRef, 0, len(m))
+	for pin := range m {
+		pins = append(pins, pin)
+	}
+	sort.Slice(pins, func(i, j int) bool {
+		if pins[i].Gate != pins[j].Gate {
+			return pins[i].Gate < pins[j].Gate
+		}
+		return pins[i].Pin < pins[j].Pin
+	})
+	return pins
 }
 
 func buildSanity(original *netlist.Netlist, r *randomize.Result) error {
@@ -346,10 +388,12 @@ func BuildNaiveLifted(original *netlist.Netlist, sinks []netlist.PinRef, lib *ce
 	if err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	pl, err := place.Place(original, masters, place.Options{UtilPercent: opt.UtilPercent, Seed: opt.Seed})
 	if err != nil {
 		return nil, err
 	}
+	opt.observe("place", start)
 	d := layout.NewDesign(original, masters, pl, opt.RouteOpt)
 	p := &Protected{
 		Design:    d,
@@ -359,6 +403,7 @@ func BuildNaiveLifted(original *netlist.Netlist, sinks []netlist.PinRef, lib *ce
 		CellOf:    map[netlist.PinRef]int{},
 		StubRoute: map[netlist.PinRef]int{},
 	}
+	start = time.Now()
 	rng := rand.New(rand.NewSource(opt.Seed ^ 0x11f7))
 	lifted := map[netlist.PinRef]bool{}
 	for _, pin := range sinks {
@@ -380,9 +425,12 @@ func BuildNaiveLifted(original *netlist.Netlist, sinks []netlist.PinRef, lib *ce
 	if err := d.CheckExtrasLegal(); err != nil {
 		return nil, err
 	}
+	opt.observe("lift", start)
+	start = time.Now()
 	if err := p.routeErroneous(); err != nil {
 		return nil, err
 	}
+	opt.observe("route", start)
 	// No restoration needed: the lifting cell passes its one input through.
 	return p, nil
 }

@@ -5,11 +5,22 @@
 // randomization against a PPA budget. It also bundles the security
 // evaluation used across the paper's tables: the network-flow proximity
 // attack at several split layers with CCR/OER/HD scoring.
+//
+// Both entry points take a context.Context and honor cancellation at
+// stage boundaries, report stage transitions with per-stage timings
+// through an optional ProgressFunc, and EvaluateSecurity fans the
+// independent split-layer attacks out over a worker pool with per-layer
+// derived RNG seeds, so its results do not depend on layer order or on
+// the degree of parallelism.
 package flow
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
+	"time"
 
 	"splitmfg/internal/attack/proximity"
 	"splitmfg/internal/cell"
@@ -22,6 +33,35 @@ import (
 	"splitmfg/internal/timing"
 )
 
+// Stage identifies a phase of the protection flow or the attack loop.
+type Stage string
+
+// Stages, in the order Protect and EvaluateSecurity pass through them.
+const (
+	StageRandomize Stage = "randomize"
+	StagePlace     Stage = "place"
+	StageLift      Stage = "lift"
+	StageRoute     Stage = "route"
+	StageRestore   Stage = "restore"
+	StageVerify    Stage = "verify"
+	StagePPA       Stage = "ppa"
+	StageAttack    Stage = "attack"
+)
+
+// Event is one completed stage transition.
+type Event struct {
+	Stage   Stage
+	Attempt int           // Protect escalation attempt (1-based; 0 for baseline work)
+	Layer   int           // split layer for StageAttack events, else 0
+	Detail  string        // e.g. "baseline", "protected", "vacuous"
+	Elapsed time.Duration // how long the stage took
+}
+
+// ProgressFunc receives stage-completion events. It may be called from
+// multiple goroutines during parallel evaluation, but calls are always
+// serialized — implementations need no locking of their own.
+type ProgressFunc func(Event)
+
 // Config parameterizes the protection flow.
 type Config struct {
 	LiftLayer        int     // 6 (ISCAS) or 8 (superblue)
@@ -31,6 +71,10 @@ type Config struct {
 	TargetOER        float64 // randomization stop criterion (default 0.999)
 	PatternWords     int     // words for final OER/HD metrics (default 256 = 16384 patterns)
 	SplitLayers      []int   // layers to attack and average over (default M3,M4,M5)
+	MaxAttempts      int     // escalation attempts in Protect (default 6; 1 = no escalation)
+
+	// Progress, when non-nil, receives stage-completion events.
+	Progress ProgressFunc
 }
 
 func (c Config) withDefaults() Config {
@@ -52,7 +96,42 @@ func (c Config) withDefaults() Config {
 	if c.PPABudgetPercent == 0 {
 		c.PPABudgetPercent = 20
 	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 6 // a non-positive cap would skip the loop and return nothing
+	}
 	return c
+}
+
+// emitter serializes progress callbacks; a nil emitter drops all events.
+type emitter struct {
+	mu sync.Mutex
+	fn ProgressFunc
+}
+
+func newEmitter(fn ProgressFunc) *emitter {
+	if fn == nil {
+		return nil
+	}
+	return &emitter{fn: fn}
+}
+
+func (e *emitter) emit(ev Event) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.fn(ev)
+	e.mu.Unlock()
+}
+
+// observe adapts a correction.Options observer to progress events.
+func (e *emitter) observe(attempt int, detail string) func(string, time.Duration) {
+	if e == nil {
+		return nil
+	}
+	return func(stage string, d time.Duration) {
+		e.emit(Event{Stage: Stage(stage), Attempt: attempt, Detail: detail, Elapsed: d})
+	}
 }
 
 // ProtectResult is the flow outcome.
@@ -71,10 +150,19 @@ type ProtectResult struct {
 
 // Protect runs the full Fig.-2 flow: it escalates randomization until the
 // OER target is met, then checks the restored design's PPA against the
-// budget, halving the swap count while the budget is exceeded.
-func Protect(original *netlist.Netlist, lib *cell.Library, cfg Config) (*ProtectResult, error) {
+// budget, halving the swap count while the budget is exceeded. The context
+// is checked at every stage boundary of every escalation attempt;
+// cancellation returns ctx.Err() promptly.
+func Protect(ctx context.Context, original *netlist.Netlist, lib *cell.Library, cfg Config) (*ProtectResult, error) {
 	cfg = cfg.withDefaults()
-	copt := correction.Options{LiftLayer: cfg.LiftLayer, UtilPercent: cfg.UtilPercent, Seed: cfg.Seed}
+	em := newEmitter(cfg.Progress)
+	copt := correction.Options{
+		LiftLayer: cfg.LiftLayer, UtilPercent: cfg.UtilPercent, Seed: cfg.Seed,
+		Observe: em.observe(0, "baseline"),
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	baseline, err := correction.BuildOriginal(original, lib, copt)
 	if err != nil {
 		return nil, fmt.Errorf("flow: baseline: %v", err)
@@ -94,12 +182,17 @@ func Protect(original *netlist.Netlist, lib *cell.Library, cfg Config) (*Protect
 	}
 	maxSwaps := 0 // first pass: whatever the OER target needs
 	var within, last *ProtectResult
-	for attempt := 0; attempt < 6; attempt++ {
+	for attempt := 0; attempt < cfg.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		copt.Observe = em.observe(attempt+1, "protected")
 		rng := rand.New(rand.NewSource(cfg.Seed))
 		target := cfg.TargetOER
 		if attempt > 0 {
 			target = 2 // beyond-reachable: the swap cap governs escalation
 		}
+		start := time.Now()
 		r, err := randomize.Randomize(original, rng, randomize.Options{
 			TargetOER: target,
 			MaxSwaps:  maxSwaps,
@@ -107,11 +200,20 @@ func Protect(original *netlist.Netlist, lib *cell.Library, cfg Config) (*Protect
 		if err != nil {
 			return nil, fmt.Errorf("flow: randomize: %v", err)
 		}
+		em.emit(Event{Stage: StageRandomize, Attempt: attempt + 1,
+			Detail: fmt.Sprintf("%d swaps, OER %.3f", len(r.Swaps), r.OER), Elapsed: time.Since(start)})
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		p, err := correction.BuildProtected(original, r, lib, copt)
 		if err != nil {
 			return nil, fmt.Errorf("flow: protect: %v", err)
 		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Verify restoration (the paper's Formality step).
+		start = time.Now()
 		rec, err := p.RestoredNetlist()
 		if err != nil {
 			return nil, err
@@ -119,11 +221,18 @@ func Protect(original *netlist.Netlist, lib *cell.Library, cfg Config) (*Protect
 		if !rec.SameStructure(original) {
 			return nil, fmt.Errorf("flow: BEOL restoration failed to recover the original")
 		}
+		em.emit(Event{Stage: StageVerify, Attempt: attempt + 1, Elapsed: time.Since(start)})
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		start = time.Now()
 		ppa, err := timing.AnalyzeRestored(p.Design, original, p.Design.Masters, lib)
 		if err != nil {
 			return nil, err
 		}
 		areaOH, powerOH, delayOH := ppa.Overhead(basePPA)
+		em.emit(Event{Stage: StagePPA, Attempt: attempt + 1,
+			Detail: fmt.Sprintf("power %+.1f%% delay %+.1f%%", powerOH, delayOH), Elapsed: time.Since(start)})
 		res := &ProtectResult{
 			Protected: p, Baseline: baseline, BasePPA: basePPA, FinalPPA: ppa,
 			OER: r.OER, Swaps: len(r.Swaps), Budget: cfg.PPABudgetPercent,
@@ -146,57 +255,120 @@ func Protect(original *netlist.Netlist, lib *cell.Library, cfg Config) (*Protect
 	return last, nil
 }
 
+// EvalOptions parameterizes EvaluateSecurity.
+type EvalOptions struct {
+	SplitLayers  []int                   // layers to attack (default M3,M4,M5)
+	OnlyPins     map[netlist.PinRef]bool // when non-nil, score only fragments with these sink pins
+	Seed         int64                   // master seed; each layer derives its own stream
+	PatternWords int                     // 64-pattern words for OER/HD (default 256)
+	Parallelism  int                     // concurrent layer evaluations; 0 = GOMAXPROCS, 1 = serial
+	Progress     ProgressFunc            // optional per-layer completion events
+}
+
+func (o EvalOptions) withDefaults() EvalOptions {
+	if len(o.SplitLayers) == 0 {
+		o.SplitLayers = []int{3, 4, 5}
+	}
+	if o.PatternWords == 0 {
+		o.PatternWords = 256
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// LayerResult is the attack outcome at one split layer.
+type LayerResult struct {
+	Layer     int
+	VPins     int // vias crossing the split boundary (the exposed surface)
+	Fragments int // sink fragments scored (0 for a vacuous layer)
+	Correct   int // fragments the attacker reconnected correctly
+	CCR       float64
+	OER       float64
+	HD        float64
+	Vacuous   bool // nothing crossed this boundary
+	Elapsed   time.Duration
+}
+
 // SecurityResult aggregates attack outcomes averaged over split layers.
 type SecurityResult struct {
 	CCR, OER, HD float64
-	Protected    int // sink fragments scored (summed over layers)
-	Layers       int // layers that actually had something to attack
+	Protected    int           // sink fragments scored (summed over layers)
+	Layers       int           // layers that actually had something to attack
+	PerLayer     []LayerResult // one entry per requested layer, in request order
+}
+
+// layerSeed derives an independent, order-insensitive RNG seed for one
+// split layer from the master seed (splitmix64 finalizer). Deriving per
+// layer — rather than sharing one stream across the layer loop — keeps a
+// layer's OER/HD independent of whether earlier layers were vacuous, and
+// makes parallel and serial evaluation bit-identical.
+func layerSeed(seed int64, layer int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(layer+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
 }
 
 // EvaluateSecurity runs the network-flow proximity attack on the design at
 // each split layer and averages CCR/OER/HD, exactly like the paper's
 // Tables 4 and 5 ("metrics averaged for splitting after M3, M4, and M5").
-// ref is the original netlist (the attacker's target). When onlyPins is
+// ref is the original netlist (the attacker's target). When opt.OnlyPins is
 // non-nil, CCR is scored only over fragments containing those sink pins —
 // the paper scores the protected (randomized) nets.
-func EvaluateSecurity(d *layout.Design, ref *netlist.Netlist, splitLayers []int,
-	onlyPins map[netlist.PinRef]bool, seed int64, words int) (SecurityResult, error) {
+//
+// Layers are evaluated concurrently (opt.Parallelism workers) and merged
+// deterministically in request order; results are identical for any
+// parallelism level.
+func EvaluateSecurity(ctx context.Context, d *layout.Design, ref *netlist.Netlist, opt EvalOptions) (SecurityResult, error) {
+	opt = opt.withDefaults()
+	em := newEmitter(opt.Progress)
+	layers := opt.SplitLayers
+
+	results := make([]LayerResult, len(layers))
+	errs := make([]error, len(layers))
+	workers := opt.Parallelism
+	if workers > len(layers) {
+		workers = len(layers)
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i], errs[i] = evaluateLayer(ctx, d, ref, layers[i], opt)
+				detail := ""
+				if results[i].Vacuous {
+					detail = "vacuous"
+				}
+				em.emit(Event{Stage: StageAttack, Layer: layers[i], Detail: detail, Elapsed: results[i].Elapsed})
+			}
+		}()
+	}
+	for i := range layers {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
 
 	var out SecurityResult
-	if len(splitLayers) == 0 {
-		splitLayers = []int{3, 4, 5}
+	for i := range layers {
+		if errs[i] != nil {
+			return out, errs[i]
+		}
 	}
-	if words == 0 {
-		words = 256
-	}
-	rng := rand.New(rand.NewSource(seed))
-	for _, layer := range splitLayers {
-		sv, err := d.Split(layer)
-		if err != nil {
-			return out, err
+	out.PerLayer = results
+	for _, lr := range results {
+		if lr.Vacuous {
+			continue
 		}
-		res := proximity.Attack(d, sv, proximity.DefaultOptions())
-		ccr := scoreCCR(d, sv, ref, res.Assignment, onlyPins)
-		if ccr.Protected == 0 {
-			continue // nothing crossed this boundary: vacuous layer
-		}
-		rec := metrics.RecoverNetlist(d, sv, res.Assignment)
-		cmp := sim.CompareResult{}
-		if !rec.HasCombLoop() {
-			pats := sim.RandomPatterns(rng, ref.NumPIs(), words)
-			cmp, err = sim.Compare(ref, rec, pats, words)
-			if err != nil {
-				return out, err
-			}
-		} else {
-			// A recovered netlist with loops is unusable: count as fully
-			// erroneous.
-			cmp.OER, cmp.HD = 1, 0.5
-		}
-		out.CCR += ccr.CCR
-		out.OER += cmp.OER
-		out.HD += cmp.HD
-		out.Protected += ccr.Protected
+		out.CCR += lr.CCR
+		out.OER += lr.OER
+		out.HD += lr.HD
+		out.Protected += lr.Fragments
 		out.Layers++
 	}
 	if out.Layers > 0 {
@@ -205,6 +377,53 @@ func EvaluateSecurity(d *layout.Design, ref *netlist.Netlist, splitLayers []int,
 		out.HD /= float64(out.Layers)
 	}
 	return out, nil
+}
+
+// evaluateLayer attacks one split layer. It is self-contained: it derives
+// its own RNG stream and touches d and ref read-only, so layers can run
+// concurrently.
+func evaluateLayer(ctx context.Context, d *layout.Design, ref *netlist.Netlist, layer int, opt EvalOptions) (LayerResult, error) {
+	start := time.Now()
+	lr := LayerResult{Layer: layer}
+	if err := ctx.Err(); err != nil {
+		return lr, err
+	}
+	sv, err := d.Split(layer)
+	if err != nil {
+		return lr, err
+	}
+	lr.VPins = len(sv.VPins)
+	res := proximity.Attack(ctx, d, sv, proximity.DefaultOptions())
+	if err := ctx.Err(); err != nil {
+		return lr, err
+	}
+	ccr := scoreCCR(d, sv, ref, res.Assignment, opt.OnlyPins)
+	if ccr.Protected == 0 {
+		lr.Vacuous = true // nothing crossed this boundary
+		lr.Elapsed = time.Since(start)
+		return lr, nil
+	}
+	rec := metrics.RecoverNetlist(d, sv, res.Assignment)
+	cmp := sim.CompareResult{}
+	if !rec.HasCombLoop() {
+		rng := rand.New(rand.NewSource(layerSeed(opt.Seed, layer)))
+		pats := sim.RandomPatterns(rng, ref.NumPIs(), opt.PatternWords)
+		cmp, err = sim.Compare(ref, rec, pats, opt.PatternWords)
+		if err != nil {
+			return lr, err
+		}
+	} else {
+		// A recovered netlist with loops is unusable: count as fully
+		// erroneous.
+		cmp.OER, cmp.HD = 1, 0.5
+	}
+	lr.Fragments = ccr.Protected
+	lr.Correct = ccr.Correct
+	lr.CCR = ccr.CCR
+	lr.OER = cmp.OER
+	lr.HD = cmp.HD
+	lr.Elapsed = time.Since(start)
+	return lr, nil
 }
 
 // scoreCCR scores like metrics.CCR but optionally restricted to fragments

@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"context"
 	"testing"
 
 	"splitmfg/internal/bench"
@@ -20,7 +21,7 @@ func TestHeadlineResult(t *testing.T) {
 		t.Fatal(err)
 	}
 	lib := cell.NewNangate45Like()
-	res, err := Protect(nl, lib, Config{Seed: 1, LiftLayer: 6, UtilPercent: 70})
+	res, err := Protect(context.Background(), nl, lib, Config{Seed: 1, LiftLayer: 6, UtilPercent: 70})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,13 +30,13 @@ func TestHeadlineResult(t *testing.T) {
 	}
 
 	// Attack the original.
-	orig, err := EvaluateSecurity(res.Baseline, nl, []int{3, 4, 5}, nil, 1, 64)
+	orig, err := EvaluateSecurity(context.Background(), res.Baseline, nl, EvalOptions{SplitLayers: []int{3, 4, 5}, Seed: 1, PatternWords: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Attack the protected layout, scoring the protected sinks.
-	prot, err := EvaluateSecurity(res.Protected.Design, nl, []int{3, 4, 5},
-		res.Protected.ProtectedSinks(), 1, 64)
+	prot, err := EvaluateSecurity(context.Background(), res.Protected.Design, nl,
+		EvalOptions{SplitLayers: []int{3, 4, 5}, OnlyPins: res.Protected.ProtectedSinks(), Seed: 1, PatternWords: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestPPAWithinBudgetOrBackoff(t *testing.T) {
 		t.Fatal(err)
 	}
 	lib := cell.NewNangate45Like()
-	res, err := Protect(nl, lib, Config{Seed: 2, PPABudgetPercent: 25})
+	res, err := Protect(context.Background(), nl, lib, Config{Seed: 2, PPABudgetPercent: 25})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,12 +87,12 @@ func TestPPAWithinBudgetOrBackoff(t *testing.T) {
 func TestEvaluateSecurityEmptyLayers(t *testing.T) {
 	nl, _ := bench.ISCAS85("c432")
 	lib := cell.NewNangate45Like()
-	res, err := Protect(nl, lib, Config{Seed: 3})
+	res, err := Protect(context.Background(), nl, lib, Config{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// M9 split: nothing crosses; result must be vacuous, not an error.
-	sec, err := EvaluateSecurity(res.Baseline, nl, []int{9}, nil, 3, 16)
+	sec, err := EvaluateSecurity(context.Background(), res.Baseline, nl, EvalOptions{SplitLayers: []int{9}, Seed: 3, PatternWords: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestNaiveLiftingSitsBetween(t *testing.T) {
 		t.Fatal(err)
 	}
 	lib := cell.NewNangate45Like()
-	res, err := Protect(nl, lib, Config{Seed: 4, LiftLayer: 6, UtilPercent: 70})
+	res, err := Protect(context.Background(), nl, lib, Config{Seed: 4, LiftLayer: 6, UtilPercent: 70})
 	if err != nil {
 		t.Fatal(err)
 	}

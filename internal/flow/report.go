@@ -1,0 +1,114 @@
+package flow
+
+import (
+	"splitmfg/internal/netlist"
+	"splitmfg/internal/timing"
+)
+
+// PPAReport is the JSON shape of a timing.PPA snapshot.
+type PPAReport struct {
+	AreaUM2      float64 `json:"area_um2"`
+	PowerUW      float64 `json:"power_uw"`
+	DelayPS      float64 `json:"delay_ps"`
+	WirelengthUM float64 `json:"wirelength_um"`
+	Vias         int64   `json:"vias"`
+}
+
+func ppaReport(p timing.PPA) PPAReport {
+	return PPAReport{
+		AreaUM2: p.AreaUM2, PowerUW: p.PowerUW, DelayPS: p.DelayPS,
+		WirelengthUM: p.WirelengthUM, Vias: p.Vias,
+	}
+}
+
+// ProtectReport is the unified, JSON-serializable summary of a Protect
+// run, shared by the CLIs, the examples, and internal/report. It carries
+// no wall-clock fields, so a fixed seed and configuration marshal to
+// byte-identical JSON.
+type ProtectReport struct {
+	Design        string  `json:"design"`
+	Gates         int     `json:"gates"`
+	PIs           int     `json:"pis"`
+	POs           int     `json:"pos"`
+	Seed          int64   `json:"seed"`
+	LiftLayer     int     `json:"lift_layer"`
+	Swaps         int     `json:"swaps"`
+	ErroneousOER  float64 `json:"erroneous_oer"`
+	BudgetPercent float64 `json:"budget_percent"`
+	AreaOHPct     float64 `json:"area_overhead_percent"`
+	PowerOHPct    float64 `json:"power_overhead_percent"`
+	DelayOHPct    float64 `json:"delay_overhead_percent"`
+
+	BasePPA  PPAReport `json:"base_ppa"`
+	FinalPPA PPAReport `json:"final_ppa"`
+}
+
+// Report summarizes the result against the netlist it protected.
+func (r *ProtectResult) Report(nl *netlist.Netlist, cfg Config) ProtectReport {
+	cfg = cfg.withDefaults()
+	return ProtectReport{
+		Design:        nl.Name,
+		Gates:         nl.NumGates(),
+		PIs:           nl.NumPIs(),
+		POs:           nl.NumPOs(),
+		Seed:          cfg.Seed,
+		LiftLayer:     cfg.LiftLayer,
+		Swaps:         r.Swaps,
+		ErroneousOER:  r.OER,
+		BudgetPercent: r.Budget,
+		AreaOHPct:     r.AreaOH,
+		PowerOHPct:    r.PowerOH,
+		DelayOHPct:    r.DelayOH,
+		BasePPA:       ppaReport(r.BasePPA),
+		FinalPPA:      ppaReport(r.FinalPPA),
+	}
+}
+
+// LayerReport is the JSON shape of one split layer's attack outcome.
+type LayerReport struct {
+	Layer      int     `json:"layer"`
+	VPins      int     `json:"vpins"`
+	Fragments  int     `json:"fragments"`
+	Correct    int     `json:"correct"`
+	CCRPercent float64 `json:"ccr_percent"`
+	OERPercent float64 `json:"oer_percent"`
+	HDPercent  float64 `json:"hd_percent"`
+	Vacuous    bool    `json:"vacuous,omitempty"`
+}
+
+// SecurityReport is the unified, JSON-serializable summary of a security
+// evaluation (proximity attack averaged over split layers).
+type SecurityReport struct {
+	Design       string        `json:"design"`
+	Seed         int64         `json:"seed"`
+	SplitLayers  []int         `json:"split_layers"`
+	CCRPercent   float64       `json:"ccr_percent"`
+	OERPercent   float64       `json:"oer_percent"`
+	HDPercent    float64       `json:"hd_percent"`
+	Fragments    int           `json:"fragments"`
+	LayersScored int           `json:"layers_scored"`
+	PerLayer     []LayerReport `json:"per_layer"`
+}
+
+// Report converts the result to its JSON-serializable form.
+func (s SecurityResult) Report(design string, opt EvalOptions) SecurityReport {
+	opt = opt.withDefaults()
+	rep := SecurityReport{
+		Design:       design,
+		Seed:         opt.Seed,
+		SplitLayers:  append([]int(nil), opt.SplitLayers...),
+		CCRPercent:   s.CCR * 100,
+		OERPercent:   s.OER * 100,
+		HDPercent:    s.HD * 100,
+		Fragments:    s.Protected,
+		LayersScored: s.Layers,
+	}
+	for _, lr := range s.PerLayer {
+		rep.PerLayer = append(rep.PerLayer, LayerReport{
+			Layer: lr.Layer, VPins: lr.VPins, Fragments: lr.Fragments, Correct: lr.Correct,
+			CCRPercent: lr.CCR * 100, OERPercent: lr.OER * 100, HDPercent: lr.HD * 100,
+			Vacuous: lr.Vacuous,
+		})
+	}
+	return rep
+}

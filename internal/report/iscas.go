@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -93,7 +94,7 @@ func iscasVariantDesign(name, variant string, lib *cell.Library, cfg Config) (*f
 		}
 		return &flow.ProtectResult{Baseline: d}, row, nil, nil
 	case "proposed":
-		res, err := flow.Protect(nl, lib, flow.Config{
+		res, err := flow.Protect(context.Background(), nl, lib, flow.Config{
 			LiftLayer: 6, UtilPercent: 70, Seed: cfg.Seed,
 			PPABudgetPercent: 20, PatternWords: cfg.PatternWords,
 		})
@@ -124,14 +125,18 @@ func SecurityStudy(variant string, cfg Config) ([]SecurityRow, error) {
 		if variant == "proposed" {
 			d = res.Protected.Design
 		}
-		sec, err := flow.EvaluateSecurity(d, nl, []int{3, 4, 5}, filter, cfg.Seed, cfg.PatternWords)
+		opt := flow.EvalOptions{
+			SplitLayers: []int{3, 4, 5}, OnlyPins: filter, Seed: cfg.Seed, PatternWords: cfg.PatternWords,
+		}
+		sec, err := flow.EvaluateSecurity(context.Background(), d, nl, opt)
 		if err != nil {
 			return nil, err
 		}
-		row.CCR = sec.CCR * 100
-		row.OER = sec.OER * 100
-		row.HD = sec.HD * 100
-		row.Frags = sec.Protected
+		rep := sec.Report(name, opt)
+		row.CCR = rep.CCRPercent
+		row.OER = rep.OERPercent
+		row.HD = rep.HDPercent
+		row.Frags = rep.Fragments
 		rows = append(rows, *row)
 	}
 	return rows, nil
@@ -228,18 +233,14 @@ func Fig6PPA(cfg Config) (*Table, []PPARow, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		res, err := flow.Protect(nl, lib, flow.Config{
+		res, err := flow.Protect(context.Background(), nl, lib, flow.Config{
 			LiftLayer: 6, UtilPercent: 70, Seed: cfg.Seed, PPABudgetPercent: 20,
 		})
 		if err != nil {
 			return nil, nil, err
 		}
 		// Naive lifting on the same sinks.
-		var sinks []netlist.PinRef
-		for pin := range res.Protected.ProtectedSinks() {
-			sinks = append(sinks, pin)
-		}
-		sortPins(sinks)
+		sinks := correction.SortedPins(res.Protected.ProtectedSinks())
 		naive, err := correction.BuildNaiveLifted(nl, sinks, lib,
 			correction.Options{LiftLayer: 6, UtilPercent: 70, Seed: cfg.Seed})
 		if err != nil {
@@ -270,18 +271,6 @@ func Fig6PPA(cfg Config) (*Table, []PPARow, error) {
 		t.Rows = append(t.Rows, []string{"average", "", "0.0%", pct(sumP / n), pct(sumD / n), pct(sumNP / n), pct(sumND / n)})
 	}
 	return t, rows, nil
-}
-
-func sortPins(pins []netlist.PinRef) {
-	for i := 1; i < len(pins); i++ {
-		p := pins[i]
-		j := i - 1
-		for j >= 0 && (pins[j].Gate > p.Gate || (pins[j].Gate == p.Gate && pins[j].Pin > p.Pin)) {
-			pins[j+1] = pins[j]
-			j--
-		}
-		pins[j+1] = p
-	}
 }
 
 // AblationSwapBudget measures security and PPA as a function of the swap
@@ -316,7 +305,9 @@ func AblationSwapBudget(name string, budgets []int, cfg Config) (*Table, error) 
 		if err != nil {
 			return nil, err
 		}
-		sec, err := flow.EvaluateSecurity(p.Design, nl, []int{3, 4, 5}, p.ProtectedSinks(), cfg.Seed, cfg.PatternWords)
+		sec, err := flow.EvaluateSecurity(context.Background(), p.Design, nl, flow.EvalOptions{
+			SplitLayers: []int{3, 4, 5}, OnlyPins: p.ProtectedSinks(), Seed: cfg.Seed, PatternWords: cfg.PatternWords,
+		})
 		if err != nil {
 			return nil, err
 		}

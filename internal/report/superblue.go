@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -73,11 +74,7 @@ func buildSuperblueBundle(name string, cfg Config) (*sbBundle, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s protected: %v", name, err)
 	}
-	var sinks []netlist.PinRef
-	for pin := range r.Protected {
-		sinks = append(sinks, pin)
-	}
-	sortPins(sinks)
+	sinks := correction.SortedPins(r.Protected)
 	naive, err := correction.BuildNaiveLifted(nl, sinks, lib, copt)
 	if err != nil {
 		return nil, fmt.Errorf("%s naive: %v", name, err)
@@ -400,7 +397,7 @@ func SuperbluePPA(cfg Config) (*Table, error) {
 // protectSuperblue runs the budgeted flow with the paper's superblue
 // settings: lift to M8, 5% PPA budget.
 func protectSuperblue(nl *netlist.Netlist, lib *cell.Library, util int, cfg Config) (*flow.ProtectResult, error) {
-	return flow.Protect(nl, lib, flow.Config{
+	return flow.Protect(context.Background(), nl, lib, flow.Config{
 		LiftLayer: 8, UtilPercent: util, Seed: cfg.Seed,
 		PPABudgetPercent: 5, PatternWords: cfg.PatternWords,
 	})

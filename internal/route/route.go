@@ -15,6 +15,7 @@ package route
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 
 	"splitmfg/internal/geom"
 )
@@ -386,8 +387,16 @@ func (r *Router) searchBounded(tree map[int32]bool, target Node, wireMin, detour
 		dz := int64(absInt(n.Z - target.Z))
 		return (dx+dy)*10 + dz*r.viaCost()
 	}
-	var q pq
+	// Seed the frontier in sorted node order: map iteration order would
+	// otherwise leak into equal-cost tie-breaks and make routing
+	// nondeterministic across runs.
+	seeds := make([]int32, 0, len(tree))
 	for t := range tree {
+		seeds = append(seeds, t)
+	}
+	sort.Slice(seeds, func(i, j int) bool { return seeds[i] < seeds[j] })
+	var q pq
+	for _, t := range seeds {
 		r.dist[t] = 0
 		r.visitID[t] = ep
 		r.from[t] = -1

@@ -1,0 +1,82 @@
+package splitmfg
+
+// Option configures a Pipeline.
+type Option func(*pipelineConfig)
+
+type pipelineConfig struct {
+	liftLayer    int
+	utilPercent  int
+	seed         int64
+	budget       float64
+	targetOER    float64
+	patternWords int
+	splitLayers  []int
+	maxAttempts  int
+	parallelism  int
+	progress     ProgressFunc
+}
+
+func defaultPipelineConfig() pipelineConfig {
+	return pipelineConfig{seed: 1}
+}
+
+// WithLiftLayer sets the metal layer the randomized nets are lifted to
+// (default: 6 for ISCAS designs, 8 for superblue).
+func WithLiftLayer(layer int) Option {
+	return func(c *pipelineConfig) { c.liftLayer = layer }
+}
+
+// WithUtilization sets the placement utilization percentage (default: 70
+// for ISCAS, published per-design values for superblue).
+func WithUtilization(percent int) Option {
+	return func(c *pipelineConfig) { c.utilPercent = percent }
+}
+
+// WithSeed sets the master seed. Every derived stream (randomization,
+// placement jitter, per-layer attack patterns) is a deterministic function
+// of it, so a fixed seed reproduces byte-identical reports.
+func WithSeed(seed int64) Option {
+	return func(c *pipelineConfig) { c.seed = seed }
+}
+
+// WithPPABudget sets the allowed power/delay overhead percentage for the
+// escalation loop (default: 20 for ISCAS, 5 for superblue).
+func WithPPABudget(percent float64) Option {
+	return func(c *pipelineConfig) { c.budget = percent }
+}
+
+// WithTargetOER sets the randomization stop criterion (default 0.999).
+func WithTargetOER(oer float64) Option {
+	return func(c *pipelineConfig) { c.targetOER = oer }
+}
+
+// WithPatternWords sets the simulation depth for OER/HD metrics in
+// 64-pattern words (default 256 = 16384 patterns).
+func WithPatternWords(words int) Option {
+	return func(c *pipelineConfig) { c.patternWords = words }
+}
+
+// WithSplitLayers sets the split layers Evaluate attacks and averages over
+// (default M3, M4, M5 — the paper's Tables 4 and 5 setup).
+func WithSplitLayers(layers ...int) Option {
+	return func(c *pipelineConfig) { c.splitLayers = append([]int(nil), layers...) }
+}
+
+// WithMaxAttempts caps the Protect escalation loop (default 6). 1 runs a
+// single randomize-and-build pass with no escalation.
+func WithMaxAttempts(n int) Option {
+	return func(c *pipelineConfig) { c.maxAttempts = n }
+}
+
+// WithParallelism sets how many split layers Evaluate attacks concurrently
+// (default: GOMAXPROCS; 1 forces serial evaluation). Results are identical
+// at every parallelism level.
+func WithParallelism(n int) Option {
+	return func(c *pipelineConfig) { c.parallelism = n }
+}
+
+// WithProgress installs a progress hook receiving stage-completion events
+// with per-stage timings.
+func WithProgress(fn ProgressFunc) Option {
+	return func(c *pipelineConfig) { c.progress = fn }
+}

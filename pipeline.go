@@ -1,0 +1,233 @@
+package splitmfg
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"splitmfg/internal/attack/crouting"
+	"splitmfg/internal/cell"
+	"splitmfg/internal/defense/correction"
+	"splitmfg/internal/defense/randomize"
+	"splitmfg/internal/flow"
+)
+
+// Pipeline is the package's entry point: a configured instance of the
+// paper's split-manufacturing flow. Build one with New and functional
+// options, then call Protect, Attack, or Evaluate. A Pipeline is immutable
+// and safe for concurrent use.
+type Pipeline struct {
+	cfg pipelineConfig
+	lib *cell.Library
+}
+
+// New builds a Pipeline. Zero-valued settings resolve per design when an
+// entry point runs (e.g. lift layer 6 and a 20% PPA budget for ISCAS
+// designs, 8 and 5% for superblue).
+func New(opts ...Option) *Pipeline {
+	cfg := defaultPipelineConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if fn := cfg.progress; fn != nil {
+		// Serialize the user's hook across every entry point of this
+		// Pipeline, not just within one call, so concurrent Protect/Evaluate
+		// calls keep the documented no-locking-needed guarantee.
+		var mu sync.Mutex
+		cfg.progress = func(ev ProgressEvent) {
+			mu.Lock()
+			defer mu.Unlock()
+			fn(ev)
+		}
+	}
+	return &Pipeline{cfg: cfg, lib: cell.NewNangate45Like()}
+}
+
+// flowConfig resolves the pipeline settings against a design's
+// recommendations.
+func (p *Pipeline) flowConfig(d *Design) flow.Config {
+	c := p.cfg
+	fc := flow.Config{
+		LiftLayer:        c.liftLayer,
+		UtilPercent:      c.utilPercent,
+		Seed:             c.seed,
+		PPABudgetPercent: c.budget,
+		TargetOER:        c.targetOER,
+		PatternWords:     c.patternWords,
+		SplitLayers:      c.splitLayers,
+		MaxAttempts:      c.maxAttempts,
+		Progress:         c.progress,
+	}
+	if fc.LiftLayer == 0 {
+		fc.LiftLayer = d.recLift
+	}
+	if fc.UtilPercent == 0 {
+		fc.UtilPercent = d.recUtil
+	}
+	if fc.PPABudgetPercent == 0 {
+		fc.PPABudgetPercent = d.recBudget
+	}
+	return fc
+}
+
+func (p *Pipeline) corrOptions(d *Design) correction.Options {
+	fc := p.flowConfig(d)
+	return correction.Options{LiftLayer: fc.LiftLayer, UtilPercent: fc.UtilPercent, Seed: fc.Seed}
+}
+
+// Protect runs the full Fig.-2 protection flow on the design: randomize to
+// OER ≈ 100%, place and route the erroneous netlist with embedded
+// correction cells, lift the randomized nets, restore true functionality
+// through the BEOL, escalating randomization against the PPA budget. The
+// context is honored at every stage boundary.
+func (p *Pipeline) Protect(ctx context.Context, d *Design) (*ProtectResult, error) {
+	fc := p.flowConfig(d)
+	res, err := flow.Protect(ctx, d.nl, p.lib, fc)
+	if err != nil {
+		return nil, err
+	}
+	return &ProtectResult{design: d, cfg: fc, res: res}, nil
+}
+
+// Evaluate runs the network-flow proximity attack on the layout at each
+// configured split layer (default M3/M4/M5), averaging CCR/OER/HD exactly
+// like the paper's Tables 4 and 5. Layers are attacked concurrently
+// (WithParallelism) with per-layer derived seeds, so the report is
+// identical at every parallelism level.
+func (p *Pipeline) Evaluate(ctx context.Context, l *Layout) (*SecurityReport, error) {
+	opt := p.evalOptions()
+	opt.OnlyPins = l.onlyPins // protected layouts score their randomized sinks only
+	sec, err := flow.EvaluateSecurity(ctx, l.d, l.ref, opt)
+	if err != nil {
+		return nil, err
+	}
+	rep := sec.Report(l.name, opt)
+	return &rep, nil
+}
+
+func (p *Pipeline) evalOptions() flow.EvalOptions {
+	c := p.cfg
+	return flow.EvalOptions{
+		SplitLayers:  c.splitLayers,
+		Seed:         c.seed,
+		PatternWords: c.patternWords,
+		Parallelism:  c.parallelism,
+		Progress:     c.progress,
+	}
+}
+
+// Attack takes the attacker's perspective on an unprotected design: build
+// the baseline layout and evaluate it. Equivalent to Baseline followed by
+// Evaluate.
+func (p *Pipeline) Attack(ctx context.Context, d *Design) (*SecurityReport, error) {
+	l, err := p.Baseline(ctx, d)
+	if err != nil {
+		return nil, err
+	}
+	return p.Evaluate(ctx, l)
+}
+
+// Baseline places and routes the design unprotected — the reference layout
+// every comparison starts from.
+func (p *Pipeline) Baseline(ctx context.Context, d *Design) (*Layout, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	copt := p.corrOptions(d)
+	if fn := p.cfg.progress; fn != nil {
+		copt.Observe = func(stage string, elapsed time.Duration) {
+			fn(ProgressEvent{Stage: Stage(stage), Detail: "baseline", Elapsed: elapsed})
+		}
+	}
+	bl, err := correction.BuildOriginal(d.nl, p.lib, copt)
+	if err != nil {
+		return nil, err
+	}
+	return &Layout{name: d.name, d: bl, ref: d.nl}, nil
+}
+
+// Randomized builds the proposed scheme's protected layout directly — one
+// randomization pass to the target OER plus correction-cell construction —
+// without the baseline layout, PPA accounting, or escalation that Protect
+// performs. It is the attacker's-perspective fast path: when only the
+// layout under attack matters, it does roughly half the work of Protect.
+func (p *Pipeline) Randomized(ctx context.Context, d *Design) (*Layout, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.cfg.seed))
+	r, err := randomize.Randomize(d.nl, rng, randomize.Options{TargetOER: p.cfg.targetOER})
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	copt := p.corrOptions(d)
+	if fn := p.cfg.progress; fn != nil {
+		copt.Observe = func(stage string, elapsed time.Duration) {
+			fn(ProgressEvent{Stage: Stage(stage), Detail: "protected", Elapsed: elapsed})
+		}
+	}
+	pr, err := correction.BuildProtected(d.nl, r, p.lib, copt)
+	if err != nil {
+		return nil, err
+	}
+	return protectedOf(d.name, d.nl, pr), nil
+}
+
+// NaiveLifted builds the paper's naive-lifting baseline: the same sink
+// pins the proposed scheme would protect are lifted through pass-through
+// cells, but the netlist is left untouched.
+func (p *Pipeline) NaiveLifted(ctx context.Context, d *Design) (*Layout, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.cfg.seed))
+	r, err := randomize.Randomize(d.nl, rng, randomize.Options{})
+	if err != nil {
+		return nil, err
+	}
+	sinks := correction.SortedPins(r.Protected)
+	np, err := correction.BuildNaiveLifted(d.nl, sinks, p.lib, p.corrOptions(d))
+	if err != nil {
+		return nil, err
+	}
+	return protectedOf(d.name, d.nl, np), nil
+}
+
+// CRoutingReport is the crouting attack's candidate-list metrics at one
+// split layer (the paper's Table 3 shape).
+type CRoutingReport struct {
+	Layer       int             `json:"layer"`
+	VPins       int             `json:"vpins"`
+	AvgListSize map[int]float64 `json:"avg_list_size"` // bbox -> E[LS]
+	MatchInList map[int]float64 `json:"match_in_list"` // bbox -> fraction with true partner listed
+}
+
+// CRouting runs the routing-centric crouting attack on the layout at each
+// configured split layer, reporting candidate-list sizes and
+// match-in-list rates per bounding box.
+func (p *Pipeline) CRouting(ctx context.Context, l *Layout) ([]CRoutingReport, error) {
+	layers := p.cfg.splitLayers
+	if len(layers) == 0 {
+		layers = []int{3, 4, 5}
+	}
+	var out []CRoutingReport
+	for _, layer := range layers {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		sv, err := l.d.Split(layer)
+		if err != nil {
+			return nil, err
+		}
+		res := crouting.Attack(l.d, sv, l.ref, crouting.DefaultOptions())
+		out = append(out, CRoutingReport{
+			Layer: layer, VPins: res.NumVPins,
+			AvgListSize: res.AvgListSize, MatchInList: res.MatchInList,
+		})
+	}
+	return out, nil
+}

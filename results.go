@@ -1,0 +1,146 @@
+package splitmfg
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"splitmfg/internal/defense/correction"
+	"splitmfg/internal/defio"
+	"splitmfg/internal/flow"
+	"splitmfg/internal/layout"
+	"splitmfg/internal/netlist"
+	"splitmfg/internal/verilog"
+)
+
+// ProtectReport is the unified, JSON-serializable summary of a Protect
+// run, shared by the CLIs and the experiment generators. It carries no
+// wall-clock fields: a fixed seed and configuration marshal to
+// byte-identical JSON.
+type ProtectReport = flow.ProtectReport
+
+// SecurityReport is the unified, JSON-serializable summary of a security
+// evaluation: the network-flow proximity attack averaged over split
+// layers, with a per-layer breakdown.
+type SecurityReport = flow.SecurityReport
+
+// LayerReport is one split layer's attack outcome inside a SecurityReport.
+type LayerReport = flow.LayerReport
+
+// PPAReport is the power/performance/area snapshot inside a ProtectReport.
+type PPAReport = flow.PPAReport
+
+// MarshalReport renders any report type as indented JSON.
+func MarshalReport(v interface{}) ([]byte, error) {
+	return json.MarshalIndent(v, "", "  ")
+}
+
+// Layout is a placed-and-routed design ready to be split, attacked, or
+// exported. Layouts are produced by Pipeline.Protect (baseline and
+// protected variants) and Pipeline.Baseline/NaiveLifted.
+type Layout struct {
+	name     string
+	d        *layout.Design
+	ref      *netlist.Netlist        // the attacker's target netlist
+	onlyPins map[netlist.PinRef]bool // protected sinks to score; nil = all
+}
+
+// Name returns the benchmark name the layout was built from.
+func (l *Layout) Name() string { return l.name }
+
+// WriteDEF writes the full layout as DEF.
+func (l *Layout) WriteDEF(w io.Writer) error { return defio.Write(w, l.d) }
+
+// WriteSplitDEF writes the FEOL-only DEF after splitting at the layer.
+func (l *Layout) WriteSplitDEF(w io.Writer, layer int) error {
+	return defio.WriteSplit(w, l.d, layer)
+}
+
+// WriteRT writes the .rt routing dump routing-centric attack tooling reads.
+func (l *Layout) WriteRT(w io.Writer) error { return defio.WriteRT(w, l.d) }
+
+// WriteOut writes the .out vpin listing for the split layer.
+func (l *Layout) WriteOut(w io.Writer, layer int) error {
+	return defio.WriteOut(w, l.d, layer)
+}
+
+// SplitSummary describes the FEOL view after splitting at one layer.
+type SplitSummary struct {
+	Layer       int `json:"layer"`
+	VPins       int `json:"vpins"`
+	Fragments   int `json:"fragments"`
+	DriverFrags int `json:"driver_fragments"`
+	SinkFrags   int `json:"sink_fragments"`
+}
+
+// Split computes the exposed surface after splitting at the layer.
+func (l *Layout) Split(layer int) (SplitSummary, error) {
+	sv, err := l.d.Split(layer)
+	if err != nil {
+		return SplitSummary{}, err
+	}
+	return SplitSummary{
+		Layer: layer, VPins: len(sv.VPins), Fragments: len(sv.Frags),
+		DriverFrags: len(sv.DriverFrags()), SinkFrags: len(sv.SinkFrags()),
+	}, nil
+}
+
+// ProtectResult is the outcome of Pipeline.Protect: the protected layout,
+// the unprotected baseline it is compared against, and the PPA accounting.
+type ProtectResult struct {
+	design *Design
+	cfg    flow.Config
+	res    *flow.ProtectResult
+}
+
+// Report summarizes the run as the unified JSON-serializable report.
+func (r *ProtectResult) Report() ProtectReport {
+	return r.res.Report(r.design.nl, r.cfg)
+}
+
+// ProtectedLayout returns the protected design, scored over its protected
+// (randomized) sink pins — the paper's evaluation target.
+func (r *ProtectResult) ProtectedLayout() *Layout {
+	return &Layout{
+		name: r.design.name, d: r.res.Protected.Design,
+		ref: r.design.nl, onlyPins: r.res.Protected.ProtectedSinks(),
+	}
+}
+
+// BaselineLayout returns the unprotected reference layout.
+func (r *ProtectResult) BaselineLayout() *Layout {
+	return &Layout{name: r.design.name, d: r.res.Baseline, ref: r.design.nl}
+}
+
+// VerifyRestoration reconstructs the netlist realized by the BEOL-restored
+// physical design and reports whether it equals the original — the
+// scheme's central correctness guarantee (the paper's Formality step).
+func (r *ProtectResult) VerifyRestoration() (bool, error) {
+	rec, err := r.res.Protected.RestoredNetlist()
+	if err != nil {
+		return false, err
+	}
+	return rec.SameStructure(r.design.nl), nil
+}
+
+// WriteDEF writes the protected layout as DEF.
+func (r *ProtectResult) WriteDEF(w io.Writer) error {
+	return defio.Write(w, r.res.Protected.Design)
+}
+
+// WriteErroneousVerilog writes the erroneous (FEOL) netlist — what the fab
+// sees — as structural Verilog.
+func (r *ProtectResult) WriteErroneousVerilog(w io.Writer) error {
+	return verilog.Write(w, r.res.Protected.Erroneous)
+}
+
+// protectedOf wraps a correction-built layout as a scored Layout.
+func protectedOf(name string, ref *netlist.Netlist, p *correction.Protected) *Layout {
+	return &Layout{name: name, d: p.Design, ref: ref, onlyPins: p.ProtectedSinks()}
+}
+
+// Headline renders the headline numbers of a report for quick printing.
+func Headline(rep SecurityReport) string {
+	return fmt.Sprintf("CCR %.1f%%  OER %.1f%%  HD %.1f%% over %d fragments (%d layers)",
+		rep.CCRPercent, rep.OERPercent, rep.HDPercent, rep.Fragments, rep.LayersScored)
+}
