@@ -202,6 +202,116 @@ func TestProgressEventOrdering(t *testing.T) {
 	}
 }
 
+// TestAttackerCatalog: the engine registry ships at least the five
+// documented attackers.
+func TestAttackerCatalog(t *testing.T) {
+	names := Attackers()
+	if len(names) < 5 {
+		t.Fatalf("attacker registry has %d entries, want >= 5: %v", len(names), names)
+	}
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, want := range []string{"proximity", "crouting", "random", "greedy", "ensemble"} {
+		if !have[want] {
+			t.Fatalf("registry missing %q: %v", want, names)
+		}
+	}
+}
+
+// TestEveryAttackerDeterministicSerialParallel: for every registered
+// engine, reports must be byte-identical across runs at a fixed seed, and
+// serial evaluation must equal parallel evaluation. This is the engine
+// contract the pluggable layer rests on.
+func TestEveryAttackerDeterministicSerialParallel(t *testing.T) {
+	design, err := LoadBenchmark("c880")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One shared layout under attack; pipelines vary only in attacker and
+	// parallelism.
+	l, err := New(WithSeed(7)).Baseline(context.Background(), design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evaluate := func(attacker string, parallelism int) []byte {
+		t.Helper()
+		pipe := New(WithSeed(7), WithPatternWords(16), WithAttackers(attacker),
+			WithParallelism(parallelism))
+		sec, err := pipe.Evaluate(context.Background(), l)
+		if err != nil {
+			t.Fatalf("%s: %v", attacker, err)
+		}
+		b, err := MarshalReport(sec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	for _, attacker := range Attackers() {
+		serial1 := evaluate(attacker, 1)
+		serial2 := evaluate(attacker, 1)
+		parallel := evaluate(attacker, 8)
+		if !bytes.Equal(serial1, serial2) {
+			t.Fatalf("%s: serial reports differ across runs:\n%s\nvs\n%s", attacker, serial1, serial2)
+		}
+		if !bytes.Equal(serial1, parallel) {
+			t.Fatalf("%s: serial vs parallel reports differ:\n%s\nvs\n%s", attacker, serial1, parallel)
+		}
+	}
+}
+
+// TestMultiAttackerReportSections: a multi-engine evaluation carries one
+// section per engine, in request order, with crouting metrics-only.
+func TestMultiAttackerReportSections(t *testing.T) {
+	design, err := LoadBenchmark("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	attackers := []string{"greedy", "crouting", "random"}
+	pipe := New(fastOptions(WithAttackers(attackers...))...)
+	sec, err := pipe.Attack(context.Background(), design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sec.Attackers) != 3 || sec.Attackers[0] != "greedy" {
+		t.Fatalf("report attackers = %v, want %v", sec.Attackers, attackers)
+	}
+	if len(sec.PerAttacker) != 3 {
+		t.Fatalf("got %d per-attacker sections, want 3: %+v", len(sec.PerAttacker), sec.PerAttacker)
+	}
+	for i, ar := range sec.PerAttacker {
+		if ar.Attacker != attackers[i] {
+			t.Fatalf("section %d is %q, want %q", i, ar.Attacker, attackers[i])
+		}
+	}
+	if sec.PerAttacker[1].Scored {
+		t.Fatal("crouting section claims an assignment score")
+	}
+	if len(sec.PerAttacker[1].Metrics) == 0 {
+		t.Fatal("crouting section has no metrics")
+	}
+	// greedy is first and scores, so it is the primary: headline tracks it.
+	if sec.CCRPercent != sec.PerAttacker[0].CCRPercent {
+		t.Fatalf("headline CCR %.3f != primary greedy CCR %.3f",
+			sec.CCRPercent, sec.PerAttacker[0].CCRPercent)
+	}
+}
+
+// TestUnknownAttackerFails: WithAttackers with an unregistered name fails
+// Evaluate with an error naming the registry.
+func TestUnknownAttackerFails(t *testing.T) {
+	design, err := LoadBenchmark("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := New(fastOptions(WithAttackers("bogus"))...)
+	if _, err := pipe.Attack(context.Background(), design); err == nil {
+		t.Fatal("unknown attacker accepted")
+	}
+}
+
 // TestCatalog: the catalog lists every loadable benchmark and rejects
 // unknown names.
 func TestCatalog(t *testing.T) {

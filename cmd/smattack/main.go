@@ -1,18 +1,23 @@
 // Command smattack runs the attacks from the attacker's perspective: build
-// a layout (original or protected), split it, and report what each attack
-// recovers.
+// a layout (original or protected), split it, and report what each
+// attacker engine recovers.
 //
 // Usage:
 //
 //	smattack -bench c880 -variant original -split 3,4,5
-//	smattack -bench c880 -variant proposed
+//	smattack -bench c880 -variant proposed -attacker proximity,greedy,ensemble
+//	smattack -bench c432 -attacker random -json
 //	smattack -bench superblue18 -variant proposed -attack crouting -split 5
+//
+// -attacker selects engines from the registry (see -list); -attack
+// crouting keeps the dedicated Table-3-shaped candidate-list report.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -21,31 +26,50 @@ import (
 )
 
 func main() {
-	name := flag.String("bench", "c880", "benchmark name")
-	variant := flag.String("variant", "original", "original | proposed | lifted")
-	attackKind := flag.String("attack", "proximity", "proximity | crouting")
-	splits := flag.String("split", "3,4,5", "comma-separated split layers")
-	scale := flag.Int("scale", 300, "superblue scale divisor")
-	seed := flag.Int64("seed", 1, "seed")
-	jsonOut := flag.Bool("json", false, "emit the security report as JSON")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "smattack:", err)
+		os.Exit(1)
+	}
+}
 
-	var layers []int
-	for _, s := range strings.Split(*splits, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(s))
-		if err != nil {
-			fatal(err)
-		}
-		layers = append(layers, v)
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("smattack", flag.ContinueOnError)
+	name := fs.String("bench", "c880", "benchmark name")
+	variant := fs.String("variant", "original", "original | proposed | lifted")
+	attackKind := fs.String("attack", "proximity", "proximity | crouting (report style; crouting = Table-3 candidate lists)")
+	attackers := fs.String("attacker", "proximity", "comma-separated attacker engines (see -list)")
+	list := fs.Bool("list", false, "list the registered attacker engines and exit")
+	splits := fs.String("split", "3,4,5", "comma-separated split layers")
+	scale := fs.Int("scale", 300, "superblue scale divisor")
+	seed := fs.Int64("seed", 1, "seed")
+	words := fs.Int("patterns", 0, "64-pattern words for OER/HD (default 256)")
+	jsonOut := fs.Bool("json", false, "emit the security report as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Fprintln(stdout, strings.Join(splitmfg.Attackers(), "\n"))
+		return nil
+	}
+
+	layers, err := parseLayers(*splits)
+	if err != nil {
+		return err
+	}
+	engines, err := splitmfg.ParseAttackers(*attackers)
+	if err != nil {
+		return err
 	}
 
 	design, err := splitmfg.LoadBenchmark(*name, splitmfg.WithScale(*scale))
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	pipe := splitmfg.New(
 		splitmfg.WithSeed(*seed),
 		splitmfg.WithSplitLayers(layers...),
+		splitmfg.WithAttackers(engines...),
+		splitmfg.WithPatternWords(*words),
 	)
 
 	ctx := context.Background()
@@ -60,54 +84,70 @@ func main() {
 	case "lifted":
 		l, err = pipe.NaiveLifted(ctx, design)
 	default:
-		fatal(fmt.Errorf("unknown variant %q", *variant))
+		return fmt.Errorf("unknown variant %q", *variant)
 	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	switch *attackKind {
 	case "proximity":
 		sec, err := pipe.Evaluate(ctx, l)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if *jsonOut {
 			b, err := splitmfg.MarshalReport(sec)
 			if err != nil {
-				fatal(err)
+				return err
 			}
-			fmt.Println(string(b))
-			return
+			fmt.Fprintln(stdout, string(b))
+			return nil
 		}
-		fmt.Printf("%s %s: network-flow attack over splits %v\n", *name, *variant, layers)
-		fmt.Println(splitmfg.Headline(*sec))
+		fmt.Fprintf(stdout, "%s %s: attackers %v over splits %v\n", *name, *variant, engines, layers)
+		fmt.Fprintln(stdout, splitmfg.Headline(*sec))
+		for _, ar := range sec.PerAttacker {
+			if ar.Scored {
+				fmt.Fprintf(stdout, "  %-10s CCR %5.1f%%  OER %5.1f%%  HD %5.1f%% over %d fragments\n",
+					ar.Attacker, ar.CCRPercent, ar.OERPercent, ar.HDPercent, ar.Fragments)
+			} else {
+				fmt.Fprintf(stdout, "  %-10s metrics-only: %v\n", ar.Attacker, ar.Metrics)
+			}
+		}
 	case "crouting":
 		reps, err := pipe.CRouting(ctx, l)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if *jsonOut {
 			b, err := splitmfg.MarshalReport(reps)
 			if err != nil {
-				fatal(err)
+				return err
 			}
-			fmt.Println(string(b))
-			return
+			fmt.Fprintln(stdout, string(b))
+			return nil
 		}
 		for _, r := range reps {
-			fmt.Printf("%s %s split M%d: vpins=%d", *name, *variant, r.Layer, r.VPins)
+			fmt.Fprintf(stdout, "%s %s split M%d: vpins=%d", *name, *variant, r.Layer, r.VPins)
 			for _, b := range []int{15, 30, 45} {
-				fmt.Printf("  E[LS]%d=%.2f", b, r.AvgListSize[b])
+				fmt.Fprintf(stdout, "  E[LS]%d=%.2f", b, r.AvgListSize[b])
 			}
-			fmt.Printf("  match45=%.2f\n", r.MatchInList[45])
+			fmt.Fprintf(stdout, "  match45=%.2f\n", r.MatchInList[45])
 		}
 	default:
-		fatal(fmt.Errorf("unknown attack %q", *attackKind))
+		return fmt.Errorf("unknown attack %q", *attackKind)
 	}
+	return nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "smattack:", err)
-	os.Exit(1)
+func parseLayers(s string) ([]int, error) {
+	var layers []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad -split %q: %v", s, err)
+		}
+		layers = append(layers, v)
+	}
+	return layers, nil
 }

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -21,13 +22,23 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1..table6, fig4, fig5, fig6, ppa, ablation, all)")
-	scale := flag.Int("scale", 300, "superblue scale divisor (1 = full size)")
-	seed := flag.Int64("seed", 1, "master seed")
-	words := flag.Int("patterns", 256, "64-pattern words for OER/HD (256 = 16384 patterns)")
-	subset := flag.String("subset", "", "comma-separated ISCAS subset (default: all nine)")
-	fig4Design := flag.String("fig4design", "superblue18", "design for fig4/fig5 series")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "smbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("smbench", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment id (table1..table6, fig4, fig5, fig6, ppa, ablation, all)")
+	scale := fs.Int("scale", 300, "superblue scale divisor (1 = full size)")
+	seed := fs.Int64("seed", 1, "master seed")
+	words := fs.Int("patterns", 256, "64-pattern words for OER/HD (256 = 16384 patterns)")
+	subset := fs.String("subset", "", "comma-separated ISCAS subset (default: all nine)")
+	fig4Design := fs.String("fig4design", "superblue18", "design for fig4/fig5 series")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	cfg := splitmfg.ExperimentConfig{
 		Seed:           *seed,
@@ -44,22 +55,21 @@ func main() {
 			known = known || name == *exp
 		}
 		if !known {
-			fmt.Fprintf(os.Stderr, "smbench: unknown experiment %q (have fig4, %s)\n",
+			return fmt.Errorf("unknown experiment %q (have fig4, %s)",
 				*exp, strings.Join(splitmfg.Experiments(), ", "))
-			os.Exit(1)
 		}
 	}
 
-	run := func(name string, f func() error) {
+	runOne := func(name string, f func() error) error {
 		if *exp != "all" && *exp != name {
-			return
+			return nil
 		}
-		fmt.Printf("== %s ==\n", name)
+		fmt.Fprintf(stdout, "== %s ==\n", name)
 		if err := f(); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %v", name, err)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
+		return nil
 	}
 
 	table := func(name string) func() error {
@@ -68,31 +78,40 @@ func main() {
 			if err != nil {
 				return err
 			}
-			fmt.Print(t.Render())
+			fmt.Fprint(stdout, t.Render())
 			return nil
 		}
 	}
 
 	for _, name := range []string{"table1", "table2", "table3", "table4", "table5", "table6"} {
-		run(name, table(name))
+		if err := runOne(name, table(name)); err != nil {
+			return err
+		}
 	}
-	run("fig4", func() error {
+	if err := runOne("fig4", func() error {
 		csv, err := splitmfg.Fig4CSV(*fig4Design, cfg)
 		if err != nil {
 			return err
 		}
-		fmt.Print(csv)
+		fmt.Fprint(stdout, csv)
 		return nil
-	})
-	run("fig5", func() error {
+	}); err != nil {
+		return err
+	}
+	if err := runOne("fig5", func() error {
 		t, err := splitmfg.Fig5(*fig4Design, cfg)
 		if err != nil {
 			return err
 		}
-		fmt.Print(t.Render())
+		fmt.Fprint(stdout, t.Render())
 		return nil
-	})
-	run("fig6", table("fig6"))
-	run("ppa", table("ppa"))
-	run("ablation", table("ablation"))
+	}); err != nil {
+		return err
+	}
+	for _, name := range []string{"fig6", "ppa", "ablation"} {
+		if err := runOne(name, table(name)); err != nil {
+			return err
+		}
+	}
+	return nil
 }

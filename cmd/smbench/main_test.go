@@ -1,0 +1,31 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFig4CSV(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-exp", "fig4", "-scale", "2000", "-patterns", "8"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "variant,net,distance_um") {
+		t.Fatalf("missing CSV header:\n%.200s", s)
+	}
+	for _, variant := range []string{"original", "lifted", "proposed"} {
+		if !strings.Contains(s, variant+",") {
+			t.Fatalf("missing %s series:\n%.200s", variant, s)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-exp", "table99"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("got %v, want unknown-experiment error", err)
+	}
+}

@@ -7,6 +7,7 @@
 //	smflow -bench c432 -lift 6 -budget 20 -out c432_protected.def
 //	smflow -bench superblue18 -scale 300 -lift 8 -budget 5
 //	smflow -bench c880 -json -progress
+//	smflow -bench c432 -attacker proximity,greedy,random
 package main
 
 import (
@@ -20,27 +21,47 @@ import (
 )
 
 func main() {
-	name := flag.String("bench", "c432", "benchmark (c432..c7552 or superblue1/5/10/12/18)")
-	lift := flag.Int("lift", 0, "lift layer (default: 6 for ISCAS, 8 for superblue)")
-	budget := flag.Float64("budget", 0, "PPA budget percent (default: 20 ISCAS, 5 superblue)")
-	scale := flag.Int("scale", 300, "superblue scale divisor")
-	seed := flag.Int64("seed", 1, "seed")
-	util := flag.Int("util", 0, "placement utilization (default: 70 ISCAS, published superblue values)")
-	out := flag.String("out", "", "write protected-layout DEF to this file")
-	vout := flag.String("verilog", "", "write the erroneous (FEOL) netlist as Verilog to this file")
-	jsonOut := flag.Bool("json", false, "emit the protect+security reports as JSON")
-	progress := flag.Bool("progress", false, "stream per-stage progress to stderr")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "smflow:", err)
+		os.Exit(1)
+	}
+}
 
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("smflow", flag.ContinueOnError)
+	name := fs.String("bench", "c432", "benchmark (c432..c7552 or superblue1/5/10/12/18)")
+	lift := fs.Int("lift", 0, "lift layer (default: 6 for ISCAS, 8 for superblue)")
+	budget := fs.Float64("budget", 0, "PPA budget percent (default: 20 ISCAS, 5 superblue)")
+	scale := fs.Int("scale", 300, "superblue scale divisor")
+	seed := fs.Int64("seed", 1, "seed")
+	util := fs.Int("util", 0, "placement utilization (default: 70 ISCAS, published superblue values)")
+	attackers := fs.String("attacker", "proximity", "comma-separated attacker engines for the security evaluation")
+	words := fs.Int("patterns", 0, "64-pattern words for OER/HD (default 256)")
+	attempts := fs.Int("attempts", 0, "escalation attempts (default 6; 1 = no escalation)")
+	out := fs.String("out", "", "write protected-layout DEF to this file")
+	vout := fs.String("verilog", "", "write the erroneous (FEOL) netlist as Verilog to this file")
+	jsonOut := fs.Bool("json", false, "emit the protect+security reports as JSON")
+	progress := fs.Bool("progress", false, "stream per-stage progress to stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	engines, err := splitmfg.ParseAttackers(*attackers)
+	if err != nil {
+		return err
+	}
 	design, err := splitmfg.LoadBenchmark(*name, splitmfg.WithScale(*scale))
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	opts := []splitmfg.Option{
 		splitmfg.WithSeed(*seed),
 		splitmfg.WithLiftLayer(*lift),
 		splitmfg.WithUtilization(*util),
 		splitmfg.WithPPABudget(*budget),
+		splitmfg.WithAttackers(engines...),
+		splitmfg.WithPatternWords(*words),
+		splitmfg.WithMaxAttempts(*attempts),
 	}
 	if *progress {
 		opts = append(opts, splitmfg.WithProgress(splitmfg.ProgressLogger(os.Stderr)))
@@ -50,11 +71,11 @@ func main() {
 	ctx := context.Background()
 	res, err := pipe.Protect(ctx, design)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	sec, err := pipe.Evaluate(ctx, res.ProtectedLayout())
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	rep := res.Report()
@@ -62,45 +83,55 @@ func main() {
 		for _, v := range []interface{}{rep, sec} {
 			b, err := splitmfg.MarshalReport(v)
 			if err != nil {
-				fatal(err)
+				return err
 			}
-			fmt.Println(string(b))
+			fmt.Fprintln(stdout, string(b))
 		}
 	} else {
-		fmt.Printf("design        %s (%v)\n", design.Name(), design.Stats())
-		fmt.Printf("swaps         %d (erroneous-netlist OER %.3f)\n", rep.Swaps, rep.ErroneousOER)
-		fmt.Printf("baseline PPA  area %.1fum2 power %.1fuW delay %.1fps\n",
+		fmt.Fprintf(stdout, "design        %s (%v)\n", design.Name(), design.Stats())
+		fmt.Fprintf(stdout, "swaps         %d (erroneous-netlist OER %.3f)\n", rep.Swaps, rep.ErroneousOER)
+		fmt.Fprintf(stdout, "baseline PPA  area %.1fum2 power %.1fuW delay %.1fps\n",
 			rep.BasePPA.AreaUM2, rep.BasePPA.PowerUW, rep.BasePPA.DelayPS)
-		fmt.Printf("restored PPA  area %.1fum2 power %.1fuW delay %.1fps\n",
+		fmt.Fprintf(stdout, "restored PPA  area %.1fum2 power %.1fuW delay %.1fps\n",
 			rep.FinalPPA.AreaUM2, rep.FinalPPA.PowerUW, rep.FinalPPA.DelayPS)
-		fmt.Printf("overheads     area %.1f%%  power %.1f%%  delay %.1f%%  (budget %.0f%%)\n",
+		fmt.Fprintf(stdout, "overheads     area %.1f%%  power %.1f%%  delay %.1f%%  (budget %.0f%%)\n",
 			rep.AreaOHPct, rep.PowerOHPct, rep.DelayOHPct, rep.BudgetPercent)
-		fmt.Printf("attack        %s (M3/M4/M5 avg)\n", splitmfg.Headline(*sec))
+		fmt.Fprintf(stdout, "attack        %s (M3/M4/M5 avg)\n", splitmfg.Headline(*sec))
+		for _, ar := range sec.PerAttacker {
+			if ar.Scored {
+				fmt.Fprintf(stdout, "  %-10s  CCR %5.1f%%  OER %5.1f%%  HD %5.1f%%\n",
+					ar.Attacker, ar.CCRPercent, ar.OERPercent, ar.HDPercent)
+			} else {
+				fmt.Fprintf(stdout, "  %-10s  metrics-only: %v\n", ar.Attacker, ar.Metrics)
+			}
+		}
 	}
 
 	if *out != "" {
-		writeFile(*out, res.WriteDEF)
+		if err := writeFile(stdout, *out, res.WriteDEF); err != nil {
+			return err
+		}
 	}
 	if *vout != "" {
-		writeFile(*vout, res.WriteErroneousVerilog)
+		if err := writeFile(stdout, *vout, res.WriteErroneousVerilog); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
-func writeFile(path string, write func(io.Writer) error) {
+func writeFile(stdout io.Writer, path string, write func(io.Writer) error) error {
 	f, err := os.Create(path)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if err := write(f); err != nil {
-		fatal(err)
+		f.Close()
+		return err
 	}
 	if err := f.Close(); err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("wrote         %s\n", path)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "smflow:", err)
-	os.Exit(1)
+	fmt.Fprintf(stdout, "wrote         %s\n", path)
+	return nil
 }

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunJSONReports(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-bench", "c432", "-attempts", "1", "-patterns", "16", "-json"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two JSON documents: ProtectReport then SecurityReport.
+	dec := json.NewDecoder(strings.NewReader(out.String()))
+	var docs []map[string]interface{}
+	for dec.More() {
+		var doc map[string]interface{}
+		if err := dec.Decode(&doc); err != nil {
+			t.Fatalf("invalid JSON output: %v\n%s", err, out.String())
+		}
+		docs = append(docs, doc)
+	}
+	if len(docs) != 2 {
+		t.Fatalf("got %d JSON documents, want 2", len(docs))
+	}
+	if _, ok := docs[0]["erroneous_oer"]; !ok {
+		t.Fatalf("first document is not a protect report: %v", docs[0])
+	}
+	if _, ok := docs[1]["attackers"]; !ok {
+		t.Fatalf("security report has no attackers section: %v", docs[1])
+	}
+}
+
+func TestRunDEFExport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "c432.def")
+	var buf strings.Builder
+	err := run([]string{"-bench", "c432", "-attempts", "1", "-patterns", "16",
+		"-attacker", "random", "-out", out}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "wrote") {
+		t.Fatalf("missing DEF write confirmation:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "random") {
+		t.Fatalf("missing per-attacker section:\n%s", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-bench", "nope"},
+		{"-attacker", "bogus"}, // rejected before any heavy work
+		{"-attacker", ","},     // effectively empty list
+	} {
+		var buf strings.Builder
+		if err := run(args, &buf); err == nil {
+			t.Fatalf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -20,12 +20,22 @@ import (
 )
 
 func main() {
-	name := flag.String("bench", "c880", "benchmark name")
-	layer := flag.Int("layer", 3, "split after this metal layer")
-	scale := flag.Int("scale", 300, "superblue scale divisor")
-	seed := flag.Int64("seed", 1, "seed")
-	out := flag.String("o", "", "output prefix (default: benchmark name)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "smsplit:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("smsplit", flag.ContinueOnError)
+	name := fs.String("bench", "c880", "benchmark name")
+	layer := fs.Int("layer", 3, "split after this metal layer")
+	scale := fs.Int("scale", 300, "superblue scale divisor")
+	seed := fs.Int64("seed", 1, "seed")
+	out := fs.String("o", "", "output prefix (default: benchmark name)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	prefix := *out
 	if prefix == "" {
@@ -33,43 +43,47 @@ func main() {
 	}
 	design, err := splitmfg.LoadBenchmark(*name, splitmfg.WithScale(*scale))
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	pipe := splitmfg.New(splitmfg.WithSeed(*seed))
 	l, err := pipe.Baseline(context.Background(), design)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	// Validate the split before creating any output file, so a bad layer
 	// doesn't leave partial artifacts behind.
 	sum, err := l.Split(*layer)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
-	write := func(path string, f func(io.Writer) error) {
+	write := func(path string, f func(io.Writer) error) error {
 		fh, err := os.Create(path)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if err := f(fh); err != nil {
-			fatal(err)
+			fh.Close()
+			return err
 		}
 		if err := fh.Close(); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Println("wrote", path)
+		fmt.Fprintln(stdout, "wrote", path)
+		return nil
 	}
-	write(prefix+"_feol.def", func(w io.Writer) error { return l.WriteSplitDEF(w, *layer) })
-	write(prefix+".rt", l.WriteRT)
-	write(prefix+".out", func(w io.Writer) error { return l.WriteOut(w, *layer) })
+	if err := write(prefix+"_feol.def", func(w io.Writer) error { return l.WriteSplitDEF(w, *layer) }); err != nil {
+		return err
+	}
+	if err := write(prefix+".rt", l.WriteRT); err != nil {
+		return err
+	}
+	if err := write(prefix+".out", func(w io.Writer) error { return l.WriteOut(w, *layer) }); err != nil {
+		return err
+	}
 
-	fmt.Printf("split after M%d: %d vpins, %d fragments (%d driver-side, %d open sink-side)\n",
+	fmt.Fprintf(stdout, "split after M%d: %d vpins, %d fragments (%d driver-side, %d open sink-side)\n",
 		sum.Layer, sum.VPins, sum.Fragments, sum.DriverFrags, sum.SinkFrags)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "smsplit:", err)
-	os.Exit(1)
+	return nil
 }

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesSplitArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "c432")
+	var out strings.Builder
+	if err := run([]string{"-bench", "c432", "-layer", "3", "-o", prefix}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, suffix := range []string{"_feol.def", ".rt", ".out"} {
+		fi, err := os.Stat(prefix + suffix)
+		if err != nil {
+			t.Fatalf("missing artifact %s: %v", suffix, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("artifact %s is empty", suffix)
+		}
+	}
+	if !strings.Contains(out.String(), "split after M3") {
+		t.Fatalf("missing split summary:\n%s", out.String())
+	}
+}
+
+func TestRunBadLayerLeavesNoArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "bad")
+	var out strings.Builder
+	if err := run([]string{"-bench", "c432", "-layer", "99", "-o", prefix}, &out); err == nil {
+		t.Fatal("split at M99 succeeded, want error")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("bad layer left partial artifacts: %v", entries)
+	}
+}

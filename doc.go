@@ -12,11 +12,18 @@
 //	res, _ := pipe.Protect(ctx, design)            // Fig. 2: randomize, P&R, lift, restore
 //	sec, _ := pipe.Evaluate(ctx, res.ProtectedLayout()) // proximity attack at M3/M4/M5
 //
+// Security evaluation is parametric over pluggable attacker engines:
+// WithAttackers selects any combination from the registry (Attackers()
+// lists it — proximity, crouting, random, greedy, ensemble), each engine
+// gets its own per-layer and averaged report sections, and the first
+// assignment-producing engine supplies the headline CCR/OER/HD.
+//
 // Protect, Attack, and Evaluate take a context.Context and honor
 // cancellation at stage boundaries. WithProgress streams stage-completion
 // events with per-stage timings; WithParallelism fans the independent
-// split-layer attacks out over a worker pool with per-layer derived RNG
-// seeds, so reports are byte-identical at every parallelism level.
+// split-layer attacks out over a worker pool with per-(layer, attacker)
+// derived RNG seeds, so reports are byte-identical at every parallelism
+// level.
 // ProtectReport and SecurityReport are JSON-serializable and shared by the
 // CLIs (cmd/smflow, cmd/smattack, cmd/smbench, cmd/smsplit), the examples,
 // and the experiment generators; RunExperiment and its sibling functions

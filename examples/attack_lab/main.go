@@ -4,6 +4,11 @@
 // This is the experiment behind the paper's argument that splitting after
 // higher layers — which is cheaper to manufacture — is normally *less*
 // secure, unless the proposed scheme is used.
+//
+// -attacker selects any registered engine combination, so the same sweep
+// doubles as a threat-model comparison: e.g.
+//
+//	go run ./examples/attack_lab -bench c880 -attacker proximity,greedy,random
 package main
 
 import (
@@ -11,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 
 	"splitmfg"
 )
@@ -18,7 +24,14 @@ import (
 func main() {
 	name := flag.String("bench", "c1908", "ISCAS benchmark")
 	seed := flag.Int64("seed", 1, "seed")
+	attackers := flag.String("attacker", "proximity",
+		"comma-separated attacker engines (registry: "+strings.Join(splitmfg.Attackers(), ", ")+")")
 	flag.Parse()
+
+	engines, err := splitmfg.ParseAttackers(*attackers)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	ctx := context.Background()
 	design, err := splitmfg.LoadBenchmark(*name)
@@ -32,6 +45,7 @@ func main() {
 		splitmfg.WithLiftLayer(6),
 		splitmfg.WithUtilization(70),
 		splitmfg.WithSplitLayers(3, 4, 5, 6, 7, 8),
+		splitmfg.WithAttackers(engines...),
 		splitmfg.WithPatternWords(32),
 		splitmfg.WithMaxAttempts(1),
 	)
@@ -49,12 +63,24 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("%s: split-layer sweep (network-flow attack)\n", *name)
+	fmt.Printf("%s: split-layer sweep (attackers: %s)\n", *name, strings.Join(engines, ", "))
 	fmt.Printf("%-6s | %-28s | %-28s\n", "split", "original (vpins/open/CCR%)", "proposed (vpins/open/CCR%)")
 	for i, o := range orig.PerLayer {
 		p := prot.PerLayer[i]
 		fmt.Printf("M%-5d | %5d / %4d / %5.1f%%       | %5d / %4d / %5.1f%%\n",
 			o.Layer, o.VPins, o.Fragments, o.CCRPercent, p.VPins, p.Fragments, p.CCRPercent)
+	}
+	if len(engines) > 1 {
+		fmt.Println()
+		fmt.Println("per-attacker averages over the sweep (original vs proposed CCR%):")
+		for i, ar := range orig.PerAttacker {
+			pr := prot.PerAttacker[i]
+			if !ar.Scored && !pr.Scored {
+				fmt.Printf("  %-10s metrics-only (e.g. original: %v)\n", ar.Attacker, ar.Metrics)
+				continue
+			}
+			fmt.Printf("  %-10s %5.1f%% -> %5.1f%%\n", ar.Attacker, ar.CCRPercent, pr.CCRPercent)
+		}
 	}
 	fmt.Println()
 	fmt.Println("Reading: for the original design the exposure shrinks with higher")

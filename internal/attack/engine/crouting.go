@@ -1,0 +1,36 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"splitmfg/internal/attack/crouting"
+	"splitmfg/internal/layout"
+)
+
+func init() { Register(croutingEngine{}) }
+
+// croutingEngine adapts the routing-centric candidate-list attack (the
+// paper's superblue adversary). It is metrics-only: instead of proposing
+// an assignment it confines the solution space, reporting per-bounding-box
+// expected candidate-list sizes and the match-in-list rate.
+type croutingEngine struct{}
+
+func (croutingEngine) Name() string { return "crouting" }
+
+func (croutingEngine) Attack(ctx context.Context, d *layout.Design, sv *layout.SplitView, opt Options) (Result, error) {
+	if opt.Ref == nil {
+		return Result{}, fmt.Errorf("engine: crouting needs Options.Ref for the match-in-list ground truth")
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	copt := crouting.DefaultOptions()
+	res := crouting.Attack(d, sv, opt.Ref, copt)
+	m := map[string]float64{"vpins": float64(res.NumVPins)}
+	for _, b := range copt.BBoxes {
+		m[fmt.Sprintf("avg_list_size_%d", b)] = res.AvgListSize[b]
+		m[fmt.Sprintf("match_in_list_%d", b)] = res.MatchInList[b]
+	}
+	return Result{Metrics: m}, nil
+}

@@ -1,0 +1,101 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"splitmfg/internal/layout"
+	"splitmfg/internal/metrics"
+)
+
+func init() {
+	Register(&Ensemble{name: "ensemble", Members: []string{"proximity", "greedy", "random"}})
+}
+
+// Ensemble runs a panel of registered engines and takes a majority vote
+// per sink fragment: the driver most members agree on wins (ties break
+// toward the lower driver-fragment index). The registered default panel is
+// proximity + greedy + random — a strong, a fast, and a chance attacker —
+// which smooths over each member's blind spots; custom panels can be built
+// with NewEnsemble and registered under their own name.
+type Ensemble struct {
+	name    string
+	Members []string
+}
+
+// NewEnsemble builds a voting engine over the named member engines
+// (resolved from the registry at attack time).
+func NewEnsemble(name string, members ...string) *Ensemble {
+	return &Ensemble{name: name, Members: members}
+}
+
+// Name returns the registry name of this panel.
+func (e *Ensemble) Name() string { return e.name }
+
+// Attack runs every member and votes. The scope seed passes through
+// unchanged (each member derives its own stream from it by name, per the
+// Options contract), so a member invocation here is bit-identical to the
+// standalone invocation of that member — and when the caller supplies a
+// Memo, members already evaluated standalone are not re-run.
+func (e *Ensemble) Attack(ctx context.Context, d *layout.Design, sv *layout.SplitView, opt Options) (Result, error) {
+	members, err := Resolve(e.Members)
+	if err != nil {
+		return Result{}, fmt.Errorf("ensemble %q: %v", e.name, err)
+	}
+	if len(members) == 0 {
+		return Result{}, fmt.Errorf("ensemble %q has no members", e.name)
+	}
+	votes := map[int]map[int]int{} // sink frag -> driver frag -> votes
+	voters := 0
+	for _, m := range members {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		mres, err := Run(ctx, m, d, sv, Options{Seed: opt.Seed, Ref: opt.Ref, Memo: opt.Memo})
+		if err != nil {
+			return Result{}, fmt.Errorf("ensemble member %q: %v", m.Name(), err)
+		}
+		if mres.Assignment == nil {
+			continue // metrics-only members contribute no vote
+		}
+		voters++
+		for sink, drv := range mres.Assignment {
+			if drv < 0 {
+				continue
+			}
+			if votes[sink] == nil {
+				votes[sink] = map[int]int{}
+			}
+			votes[sink][drv]++
+		}
+	}
+	if voters == 0 {
+		return Result{}, fmt.Errorf("ensemble %q: no member produced an assignment", e.name)
+	}
+
+	res := Result{Assignment: metrics.Assignment{}, Metrics: map[string]float64{}}
+	unanimous := 0
+	sinkIDs := make([]int, 0, len(votes))
+	for sink := range votes {
+		sinkIDs = append(sinkIDs, sink)
+	}
+	sort.Ints(sinkIDs)
+	for _, sink := range sinkIDs {
+		bestDrv, bestVotes := -1, 0
+		for drv, n := range votes[sink] {
+			if n > bestVotes || (n == bestVotes && drv < bestDrv) {
+				bestDrv, bestVotes = drv, n
+			}
+		}
+		res.Assignment[sink] = bestDrv
+		if bestVotes == voters {
+			unanimous++
+		}
+	}
+	res.Metrics["members"] = float64(voters)
+	if len(sinkIDs) > 0 {
+		res.Metrics["unanimous"] = float64(unanimous) / float64(len(sinkIDs))
+	}
+	return res, nil
+}

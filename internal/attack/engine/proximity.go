@@ -1,0 +1,30 @@
+package engine
+
+import (
+	"context"
+
+	"splitmfg/internal/attack/proximity"
+	"splitmfg/internal/layout"
+)
+
+func init() { Register(proximityEngine{}) }
+
+// proximityEngine adapts the network-flow proximity attack (the paper's
+// ISCAS-85 adversary) to the engine interface.
+type proximityEngine struct{}
+
+func (proximityEngine) Name() string { return "proximity" }
+
+func (proximityEngine) Attack(ctx context.Context, d *layout.Design, sv *layout.SplitView, opt Options) (Result, error) {
+	res := proximity.Attack(ctx, d, sv, proximity.DefaultOptions())
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Assignment: res.Assignment,
+		Metrics: map[string]float64{
+			"candidates":     float64(res.Candidates),
+			"avg_candidates": res.AvgCands,
+		},
+	}, nil
+}

@@ -1,6 +1,6 @@
 package proximity
 
-import "container/heap"
+import "splitmfg/internal/heapx"
 
 // mcmf is a small min-cost max-flow solver (successive shortest paths with
 // Johnson potentials) used to solve the attacker's joint assignment of sink
@@ -43,23 +43,10 @@ func (g *mcmf) addEdge(u, v int, capacity int32, cost int64) int {
 	return id
 }
 
-type mcmfItem struct {
-	node int
-	dist int64
-}
-
-type mcmfPQ []mcmfItem
-
-func (q mcmfPQ) Len() int            { return len(q) }
-func (q mcmfPQ) Less(a, b int) bool  { return q[a].dist < q[b].dist }
-func (q mcmfPQ) Swap(a, b int)       { q[a], q[b] = q[b], q[a] }
-func (q *mcmfPQ) Push(x interface{}) { *q = append(*q, x.(mcmfItem)) }
-func (q *mcmfPQ) Pop() interface{} {
-	old := *q
-	it := old[len(old)-1]
-	*q = old[:len(old)-1]
-	return it
-}
+// mcmfItem is a Dijkstra priority-queue entry: Pri is the reduced-cost
+// distance, Value the node. heapx gives a typed slice heap — no
+// interface{} boxing inside the loop that dominates the flow solve.
+type mcmfItem = heapx.Item[int]
 
 // run pushes flow from s to t until exhaustion, returning total flow and
 // cost. All edge costs must be non-negative.
@@ -76,10 +63,11 @@ func (g *mcmf) run(s, t int) (flow int32, cost int64) {
 			prevEdge[i] = -1
 		}
 		dist[s] = 0
-		q := mcmfPQ{{s, 0}}
+		q := []mcmfItem{{Pri: 0, Value: s}}
 		for len(q) > 0 {
-			it := heap.Pop(&q).(mcmfItem)
-			u := it.node
+			var it mcmfItem
+			q, it = heapx.Pop(q)
+			u := it.Value
 			if inTree[u] {
 				continue
 			}
@@ -93,7 +81,7 @@ func (g *mcmf) run(s, t int) (flow int32, cost int64) {
 				if nd < dist[v] {
 					dist[v] = nd
 					prevEdge[v] = e
-					heap.Push(&q, mcmfItem{v, nd})
+					q = heapx.Push(q, mcmfItem{Pri: nd, Value: v})
 				}
 			}
 		}

@@ -111,8 +111,9 @@ func Write(w io.Writer, d *layout.Design) error {
 }
 
 func routeIDs(d *layout.Design) []int {
-	ids := make([]int, 0, len(d.Router.Nets()))
-	for id := range d.Router.Nets() {
+	nets := d.Router.Nets()
+	ids := make([]int, 0, len(nets))
+	for id := range nets {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)

@@ -3,8 +3,9 @@
 // design with embedded correction cells, lift the randomized nets, restore
 // true functionality through the BEOL, and iterate the amount of
 // randomization against a PPA budget. It also bundles the security
-// evaluation used across the paper's tables: the network-flow proximity
-// attack at several split layers with CCR/OER/HD scoring.
+// evaluation used across the paper's tables: pluggable attacker engines
+// (internal/attack/engine) at several split layers with CCR/OER/HD
+// scoring.
 //
 // Both entry points take a context.Context and honor cancellation at
 // stage boundaries, report stage transitions with per-stage timings
@@ -22,7 +23,7 @@ import (
 	"sync"
 	"time"
 
-	"splitmfg/internal/attack/proximity"
+	"splitmfg/internal/attack/engine"
 	"splitmfg/internal/cell"
 	"splitmfg/internal/defense/correction"
 	"splitmfg/internal/defense/randomize"
@@ -258,6 +259,7 @@ func Protect(ctx context.Context, original *netlist.Netlist, lib *cell.Library, 
 // EvalOptions parameterizes EvaluateSecurity.
 type EvalOptions struct {
 	SplitLayers  []int                   // layers to attack (default M3,M4,M5)
+	Attackers    []string                // engine names to run per layer (default "proximity")
 	OnlyPins     map[netlist.PinRef]bool // when non-nil, score only fragments with these sink pins
 	Seed         int64                   // master seed; each layer derives its own stream
 	PatternWords int                     // 64-pattern words for OER/HD (default 256)
@@ -269,6 +271,9 @@ func (o EvalOptions) withDefaults() EvalOptions {
 	if len(o.SplitLayers) == 0 {
 		o.SplitLayers = []int{3, 4, 5}
 	}
+	if len(o.Attackers) == 0 {
+		o.Attackers = []string{"proximity"}
+	}
 	if o.PatternWords == 0 {
 		o.PatternWords = 256
 	}
@@ -278,7 +283,27 @@ func (o EvalOptions) withDefaults() EvalOptions {
 	return o
 }
 
-// LayerResult is the attack outcome at one split layer.
+// AttackOutcome is one attacker engine's result at one split layer.
+type AttackOutcome struct {
+	Attacker  string
+	Scored    bool // engine proposed an assignment that was CCR/OER/HD-scored
+	Fragments int  // sink fragments scored
+	Correct   int  // fragments reconnected correctly
+	CCR       float64
+	OER       float64
+	HD        float64
+	Metrics   map[string]float64 // engine-specific extras
+	Elapsed   time.Duration
+}
+
+// LayerResult is the attack outcome at one split layer. The headline
+// Fragments/Correct/CCR/OER/HD come from the primary attacker — the first
+// requested engine that produced a scorable assignment — so single-attacker
+// evaluations read exactly as before; Attacks carries every engine's
+// outcome. Scored is false when every requested engine was metrics-only
+// (e.g. crouting alone): such a layer contributes its engine sections but
+// stays out of the headline averages, which would otherwise report a
+// meaningless CCR/OER/HD of zero.
 type LayerResult struct {
 	Layer     int
 	VPins     int // vias crossing the split boundary (the exposed surface)
@@ -287,16 +312,33 @@ type LayerResult struct {
 	CCR       float64
 	OER       float64
 	HD        float64
-	Vacuous   bool // nothing crossed this boundary
+	Vacuous   bool            // nothing crossed this boundary
+	Scored    bool            // some engine's assignment was CCR/OER/HD-scored
+	Attacks   []AttackOutcome // one entry per requested attacker, in request order
 	Elapsed   time.Duration
 }
 
+// AttackerResult aggregates one attacker engine's outcomes over the
+// non-vacuous split layers.
+type AttackerResult struct {
+	Attacker     string
+	Scored       bool
+	CCR, OER, HD float64
+	Fragments    int                // summed over layers
+	Correct      int                // summed over layers
+	Layers       int                // layers the engine ran on
+	Metrics      map[string]float64 // averaged over layers
+}
+
 // SecurityResult aggregates attack outcomes averaged over split layers.
+// The headline CCR/OER/HD track the primary attacker; PerAttacker carries
+// every requested engine's averages.
 type SecurityResult struct {
 	CCR, OER, HD float64
-	Protected    int           // sink fragments scored (summed over layers)
-	Layers       int           // layers that actually had something to attack
-	PerLayer     []LayerResult // one entry per requested layer, in request order
+	Protected    int              // sink fragments scored (summed over layers)
+	Layers       int              // layers that actually had something to attack
+	PerLayer     []LayerResult    // one entry per requested layer, in request order
+	PerAttacker  []AttackerResult // one entry per requested attacker, in request order
 }
 
 // layerSeed derives an independent, order-insensitive RNG seed for one
@@ -311,18 +353,27 @@ func layerSeed(seed int64, layer int) int64 {
 	return int64(z ^ (z >> 31))
 }
 
-// EvaluateSecurity runs the network-flow proximity attack on the design at
+// EvaluateSecurity runs the configured attacker engines on the design at
 // each split layer and averages CCR/OER/HD, exactly like the paper's
 // Tables 4 and 5 ("metrics averaged for splitting after M3, M4, and M5").
 // ref is the original netlist (the attacker's target). When opt.OnlyPins is
 // non-nil, CCR is scored only over fragments containing those sink pins —
 // the paper scores the protected (randomized) nets.
 //
+// opt.Attackers selects the engines (internal/attack/engine registry;
+// default the paper's network-flow "proximity" attack). Every engine runs
+// on every layer; the headline averages track the first engine that
+// produces a scorable assignment, and per-engine sections carry the rest.
+//
 // Layers are evaluated concurrently (opt.Parallelism workers) and merged
 // deterministically in request order; results are identical for any
-// parallelism level.
+// parallelism level, and for any engine, because each (layer, engine) pair
+// derives its own RNG stream from the master seed.
 func EvaluateSecurity(ctx context.Context, d *layout.Design, ref *netlist.Netlist, opt EvalOptions) (SecurityResult, error) {
 	opt = opt.withDefaults()
+	if _, err := engine.Resolve(opt.Attackers); err != nil {
+		return SecurityResult{}, err
+	}
 	em := newEmitter(opt.Progress)
 	layers := opt.SplitLayers
 
@@ -362,7 +413,7 @@ func EvaluateSecurity(ctx context.Context, d *layout.Design, ref *netlist.Netlis
 	}
 	out.PerLayer = results
 	for _, lr := range results {
-		if lr.Vacuous {
+		if lr.Vacuous || !lr.Scored {
 			continue
 		}
 		out.CCR += lr.CCR
@@ -376,12 +427,52 @@ func EvaluateSecurity(ctx context.Context, d *layout.Design, ref *netlist.Netlis
 		out.OER /= float64(out.Layers)
 		out.HD /= float64(out.Layers)
 	}
+	out.PerAttacker = aggregateAttackers(opt.Attackers, results)
 	return out, nil
 }
 
-// evaluateLayer attacks one split layer. It is self-contained: it derives
-// its own RNG stream and touches d and ref read-only, so layers can run
-// concurrently.
+// aggregateAttackers averages each engine's per-layer outcomes over the
+// non-vacuous layers, in the requested engine order.
+func aggregateAttackers(attackers []string, results []LayerResult) []AttackerResult {
+	out := make([]AttackerResult, 0, len(attackers))
+	for i, name := range attackers {
+		ar := AttackerResult{Attacker: name}
+		sums := map[string]float64{}
+		for _, lr := range results {
+			if lr.Vacuous || i >= len(lr.Attacks) {
+				continue
+			}
+			ao := lr.Attacks[i]
+			ar.Layers++
+			ar.Scored = ar.Scored || ao.Scored
+			ar.CCR += ao.CCR
+			ar.OER += ao.OER
+			ar.HD += ao.HD
+			ar.Fragments += ao.Fragments
+			ar.Correct += ao.Correct
+			for k, v := range ao.Metrics {
+				sums[k] += v
+			}
+		}
+		if ar.Layers > 0 {
+			ar.CCR /= float64(ar.Layers)
+			ar.OER /= float64(ar.Layers)
+			ar.HD /= float64(ar.Layers)
+			if len(sums) > 0 {
+				ar.Metrics = make(map[string]float64, len(sums))
+				for k, v := range sums {
+					ar.Metrics[k] = v / float64(ar.Layers)
+				}
+			}
+		}
+		out = append(out, ar)
+	}
+	return out
+}
+
+// evaluateLayer attacks one split layer with every configured engine. It
+// is self-contained: each (layer, engine) pair derives its own RNG stream
+// and touches d and ref read-only, so layers can run concurrently.
 func evaluateLayer(ctx context.Context, d *layout.Design, ref *netlist.Netlist, layer int, opt EvalOptions) (LayerResult, error) {
 	start := time.Now()
 	lr := LayerResult{Layer: layer}
@@ -393,37 +484,95 @@ func evaluateLayer(ctx context.Context, d *layout.Design, ref *netlist.Netlist, 
 		return lr, err
 	}
 	lr.VPins = len(sv.VPins)
-	res := proximity.Attack(ctx, d, sv, proximity.DefaultOptions())
-	if err := ctx.Err(); err != nil {
-		return lr, err
-	}
-	ccr := scoreCCR(d, sv, ref, res.Assignment, opt.OnlyPins)
-	if ccr.Protected == 0 {
+	// The scored surface is a property of the split alone (which sink
+	// fragments crossed the boundary), not of any attack outcome.
+	surface := scoreCCR(d, sv, ref, nil, opt.OnlyPins)
+	if surface.Protected == 0 {
 		lr.Vacuous = true // nothing crossed this boundary
 		lr.Elapsed = time.Since(start)
 		return lr, nil
 	}
-	rec := metrics.RecoverNetlist(d, sv, res.Assignment)
+	lr.Fragments = surface.Protected
+
+	// One memo per layer: a composite engine (ensemble) reuses sibling
+	// engines' results instead of re-attacking the same view.
+	memo := engine.NewMemo()
+	primary := false
+	for _, name := range opt.Attackers {
+		eng, _ := engine.Lookup(name) // validated up front in EvaluateSecurity
+		ao, err := runAttacker(ctx, eng, d, sv, ref, layer, memo, opt)
+		if err != nil {
+			return lr, err
+		}
+		lr.Attacks = append(lr.Attacks, ao)
+		if ao.Scored && !primary {
+			primary = true
+			lr.Scored = true
+			lr.Fragments = ao.Fragments
+			lr.Correct = ao.Correct
+			lr.CCR = ao.CCR
+			lr.OER = ao.OER
+			lr.HD = ao.HD
+		}
+	}
+	lr.Elapsed = time.Since(start)
+	return lr, nil
+}
+
+// runAttacker runs one engine on one split layer and scores its outcome.
+// Every engine receives the same layer-scope seed (stochastic engines
+// derive their own stream from it by name, per the engine.Options
+// contract), while the OER/HD pattern stream derives per (layer, engine)
+// — so every stream is independent and deterministic regardless of
+// evaluation order, and memoized engine invocations stay bit-identical.
+func runAttacker(ctx context.Context, eng engine.Engine, d *layout.Design, sv *layout.SplitView,
+	ref *netlist.Netlist, layer int, memo *engine.Memo, opt EvalOptions) (AttackOutcome, error) {
+	start := time.Now()
+	scopeSeed := layerSeed(opt.Seed, layer)
+	ao := AttackOutcome{Attacker: eng.Name()}
+	res, err := engine.Run(ctx, eng, d, sv, engine.Options{Seed: scopeSeed, Ref: ref, Memo: memo})
+	if err != nil {
+		return ao, err
+	}
+	if err := ctx.Err(); err != nil {
+		return ao, err
+	}
+	ao.Metrics = res.Metrics
+	if res.Assignment == nil {
+		// Metrics-only engine (crouting): nothing to score.
+		ao.Elapsed = time.Since(start)
+		return ao, nil
+	}
+	ccr := scoreCCR(d, sv, ref, res.Assignment, opt.OnlyPins)
+	rec := res.Recovered
+	if rec == nil {
+		rec = metrics.RecoverNetlist(d, sv, res.Assignment)
+	}
 	cmp := sim.CompareResult{}
 	if !rec.HasCombLoop() {
-		rng := rand.New(rand.NewSource(layerSeed(opt.Seed, layer)))
+		// The "/patterns" label keeps this stream distinct from the attack
+		// stream an engine derives for itself from the same scope seed
+		// (DeriveSeed(scope, name)) — the chance baseline must not be
+		// scored with the very sequence that generated its assignment.
+		rng := rand.New(rand.NewSource(engine.DeriveSeed(scopeSeed, eng.Name()+"/patterns")))
 		pats := sim.RandomPatterns(rng, ref.NumPIs(), opt.PatternWords)
 		cmp, err = sim.Compare(ref, rec, pats, opt.PatternWords)
 		if err != nil {
-			return lr, err
+			return ao, err
 		}
 	} else {
 		// A recovered netlist with loops is unusable: count as fully
 		// erroneous.
 		cmp.OER, cmp.HD = 1, 0.5
 	}
-	lr.Fragments = ccr.Protected
-	lr.Correct = ccr.Correct
-	lr.CCR = ccr.CCR
-	lr.OER = cmp.OER
-	lr.HD = cmp.HD
-	lr.Elapsed = time.Since(start)
-	return lr, nil
+	ao.Scored = true
+	ao.Fragments = ccr.Protected
+	ao.Correct = ccr.Correct
+	ao.CCR = ccr.CCR
+	ao.OER = cmp.OER
+	ao.HD = cmp.HD
+	ao.Elapsed = time.Since(start)
+	return ao, nil
 }
 
 // scoreCCR scores like metrics.CCR but optionally restricted to fragments

@@ -101,6 +101,131 @@ func TestEvaluateSecurityEmptyLayers(t *testing.T) {
 	}
 }
 
+// TestEvaluateSecurityUnknownAttacker: an unregistered engine name must
+// fail up front with an error naming the registry.
+func TestEvaluateSecurityUnknownAttacker(t *testing.T) {
+	nl, _ := bench.ISCAS85("c432")
+	lib := cell.NewNangate45Like()
+	d, err := correction.BuildOriginal(nl, lib, correction.Options{LiftLayer: 6, UtilPercent: 70, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = EvaluateSecurity(context.Background(), d, nl,
+		EvalOptions{Attackers: []string{"proximity", "nope"}, PatternWords: 16})
+	if err == nil {
+		t.Fatal("unknown attacker accepted")
+	}
+}
+
+// TestEvaluateSecurityMultiAttacker: every requested engine gets a section
+// on every non-vacuous layer, aggregates line up, and the headline numbers
+// track the primary (first scoring) attacker.
+func TestEvaluateSecurityMultiAttacker(t *testing.T) {
+	nl, err := bench.ISCAS85("c880")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := cell.NewNangate45Like()
+	d, err := correction.BuildOriginal(nl, lib, correction.Options{LiftLayer: 6, UtilPercent: 70, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attackers := []string{"proximity", "crouting", "random"}
+	sec, err := EvaluateSecurity(context.Background(), d, nl, EvalOptions{
+		SplitLayers: []int{3, 4, 5}, Attackers: attackers, Seed: 1, PatternWords: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sec.PerAttacker) != len(attackers) {
+		t.Fatalf("got %d attacker aggregates, want %d", len(sec.PerAttacker), len(attackers))
+	}
+	for i, ar := range sec.PerAttacker {
+		if ar.Attacker != attackers[i] {
+			t.Fatalf("aggregate %d is %q, want %q (request order)", i, ar.Attacker, attackers[i])
+		}
+	}
+	var prox, crout AttackerResult
+	for _, ar := range sec.PerAttacker {
+		switch ar.Attacker {
+		case "proximity":
+			prox = ar
+		case "crouting":
+			crout = ar
+		}
+	}
+	if !prox.Scored || prox.Fragments == 0 {
+		t.Fatalf("proximity did not score: %+v", prox)
+	}
+	if crout.Scored {
+		t.Fatalf("crouting claims to have scored an assignment: %+v", crout)
+	}
+	if len(crout.Metrics) == 0 {
+		t.Fatal("crouting aggregate carries no metrics")
+	}
+	// Headline == primary attacker (proximity is first and scores).
+	if sec.CCR != prox.CCR || sec.OER != prox.OER || sec.HD != prox.HD {
+		t.Fatalf("headline %v/%v/%v != primary proximity %v/%v/%v",
+			sec.CCR, sec.OER, sec.HD, prox.CCR, prox.OER, prox.HD)
+	}
+	for _, lr := range sec.PerLayer {
+		if lr.Vacuous {
+			if len(lr.Attacks) != 0 {
+				t.Fatalf("vacuous layer M%d has attack sections", lr.Layer)
+			}
+			continue
+		}
+		if len(lr.Attacks) != len(attackers) {
+			t.Fatalf("layer M%d has %d attack sections, want %d", lr.Layer, len(lr.Attacks), len(attackers))
+		}
+		for i, ao := range lr.Attacks {
+			if ao.Attacker != attackers[i] {
+				t.Fatalf("layer M%d section %d is %q, want %q", lr.Layer, i, ao.Attacker, attackers[i])
+			}
+		}
+	}
+}
+
+// TestEvaluateSecurityMetricsOnlyAttacker: with only a metrics-only
+// engine requested (crouting), non-vacuous layers must be marked unscored
+// and excluded from the headline averages rather than reporting a bogus
+// CCR/OER/HD of zero.
+func TestEvaluateSecurityMetricsOnlyAttacker(t *testing.T) {
+	nl, err := bench.ISCAS85("c880")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := cell.NewNangate45Like()
+	d, err := correction.BuildOriginal(nl, lib, correction.Options{LiftLayer: 6, UtilPercent: 70, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec, err := EvaluateSecurity(context.Background(), d, nl, EvalOptions{
+		SplitLayers: []int{3, 4, 5}, Attackers: []string{"crouting"}, Seed: 1, PatternWords: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sec.Layers != 0 || sec.Protected != 0 || sec.CCR != 0 || sec.OER != 0 {
+		t.Fatalf("metrics-only evaluation claims scored layers: %+v", sec)
+	}
+	sawAttack := false
+	for _, lr := range sec.PerLayer {
+		if lr.Vacuous {
+			continue
+		}
+		if lr.Scored {
+			t.Fatalf("layer M%d claims a score from a metrics-only engine", lr.Layer)
+		}
+		if len(lr.Attacks) == 1 && len(lr.Attacks[0].Metrics) > 0 {
+			sawAttack = true
+		}
+	}
+	if !sawAttack {
+		t.Fatal("no crouting metrics section on any layer")
+	}
+}
+
 // TestNaiveLiftingSitsBetween verifies the paper's three-way ordering on
 // via counts: proposed adds the most high-layer vias, naive lifting fewer,
 // original the least (Table 2's qualitative content, at ISCAS scale).

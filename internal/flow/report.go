@@ -64,30 +64,69 @@ func (r *ProtectResult) Report(nl *netlist.Netlist, cfg Config) ProtectReport {
 	}
 }
 
-// LayerReport is the JSON shape of one split layer's attack outcome.
+// AttackReport is the JSON shape of one attacker engine's outcome at one
+// split layer. Scored marks engines that proposed an assignment (and thus
+// carry CCR/OER/HD); metrics-only engines like crouting report only the
+// Metrics map. Metrics keys are engine-specific but stable, and
+// encoding/json sorts map keys, so reports stay byte-identical at a fixed
+// seed.
+type AttackReport struct {
+	Attacker   string             `json:"attacker"`
+	Scored     bool               `json:"scored"`
+	Fragments  int                `json:"fragments,omitempty"`
+	Correct    int                `json:"correct,omitempty"`
+	CCRPercent float64            `json:"ccr_percent"`
+	OERPercent float64            `json:"oer_percent"`
+	HDPercent  float64            `json:"hd_percent"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// LayerReport is the JSON shape of one split layer's attack outcome. The
+// headline fields track the primary attacker; Attacks carries every
+// requested engine's section. Unscored marks a non-vacuous layer where
+// every requested engine was metrics-only — its headline CCR/OER/HD are
+// not meaningful and the layer is excluded from the report averages.
 type LayerReport struct {
-	Layer      int     `json:"layer"`
-	VPins      int     `json:"vpins"`
-	Fragments  int     `json:"fragments"`
-	Correct    int     `json:"correct"`
-	CCRPercent float64 `json:"ccr_percent"`
-	OERPercent float64 `json:"oer_percent"`
-	HDPercent  float64 `json:"hd_percent"`
-	Vacuous    bool    `json:"vacuous,omitempty"`
+	Layer      int            `json:"layer"`
+	VPins      int            `json:"vpins"`
+	Fragments  int            `json:"fragments"`
+	Correct    int            `json:"correct"`
+	CCRPercent float64        `json:"ccr_percent"`
+	OERPercent float64        `json:"oer_percent"`
+	HDPercent  float64        `json:"hd_percent"`
+	Vacuous    bool           `json:"vacuous,omitempty"`
+	Unscored   bool           `json:"unscored,omitempty"`
+	Attacks    []AttackReport `json:"attacks,omitempty"`
+}
+
+// AttackerReport is one attacker engine's averages over the non-vacuous
+// split layers.
+type AttackerReport struct {
+	Attacker     string             `json:"attacker"`
+	Scored       bool               `json:"scored"`
+	Fragments    int                `json:"fragments,omitempty"`
+	Correct      int                `json:"correct,omitempty"`
+	CCRPercent   float64            `json:"ccr_percent"`
+	OERPercent   float64            `json:"oer_percent"`
+	HDPercent    float64            `json:"hd_percent"`
+	LayersScored int                `json:"layers_scored"`
+	Metrics      map[string]float64 `json:"metrics,omitempty"`
 }
 
 // SecurityReport is the unified, JSON-serializable summary of a security
-// evaluation (proximity attack averaged over split layers).
+// evaluation (the configured attacker engines averaged over split layers).
 type SecurityReport struct {
-	Design       string        `json:"design"`
-	Seed         int64         `json:"seed"`
-	SplitLayers  []int         `json:"split_layers"`
-	CCRPercent   float64       `json:"ccr_percent"`
-	OERPercent   float64       `json:"oer_percent"`
-	HDPercent    float64       `json:"hd_percent"`
-	Fragments    int           `json:"fragments"`
-	LayersScored int           `json:"layers_scored"`
-	PerLayer     []LayerReport `json:"per_layer"`
+	Design       string           `json:"design"`
+	Seed         int64            `json:"seed"`
+	SplitLayers  []int            `json:"split_layers"`
+	Attackers    []string         `json:"attackers"`
+	CCRPercent   float64          `json:"ccr_percent"`
+	OERPercent   float64          `json:"oer_percent"`
+	HDPercent    float64          `json:"hd_percent"`
+	Fragments    int              `json:"fragments"`
+	LayersScored int              `json:"layers_scored"`
+	PerLayer     []LayerReport    `json:"per_layer"`
+	PerAttacker  []AttackerReport `json:"per_attacker,omitempty"`
 }
 
 // Report converts the result to its JSON-serializable form.
@@ -97,6 +136,7 @@ func (s SecurityResult) Report(design string, opt EvalOptions) SecurityReport {
 		Design:       design,
 		Seed:         opt.Seed,
 		SplitLayers:  append([]int(nil), opt.SplitLayers...),
+		Attackers:    append([]string(nil), opt.Attackers...),
 		CCRPercent:   s.CCR * 100,
 		OERPercent:   s.OER * 100,
 		HDPercent:    s.HD * 100,
@@ -104,10 +144,27 @@ func (s SecurityResult) Report(design string, opt EvalOptions) SecurityReport {
 		LayersScored: s.Layers,
 	}
 	for _, lr := range s.PerLayer {
-		rep.PerLayer = append(rep.PerLayer, LayerReport{
+		lrep := LayerReport{
 			Layer: lr.Layer, VPins: lr.VPins, Fragments: lr.Fragments, Correct: lr.Correct,
 			CCRPercent: lr.CCR * 100, OERPercent: lr.OER * 100, HDPercent: lr.HD * 100,
-			Vacuous: lr.Vacuous,
+			Vacuous: lr.Vacuous, Unscored: !lr.Vacuous && !lr.Scored,
+		}
+		for _, ao := range lr.Attacks {
+			lrep.Attacks = append(lrep.Attacks, AttackReport{
+				Attacker: ao.Attacker, Scored: ao.Scored,
+				Fragments: ao.Fragments, Correct: ao.Correct,
+				CCRPercent: ao.CCR * 100, OERPercent: ao.OER * 100, HDPercent: ao.HD * 100,
+				Metrics: ao.Metrics,
+			})
+		}
+		rep.PerLayer = append(rep.PerLayer, lrep)
+	}
+	for _, ar := range s.PerAttacker {
+		rep.PerAttacker = append(rep.PerAttacker, AttackerReport{
+			Attacker: ar.Attacker, Scored: ar.Scored,
+			Fragments: ar.Fragments, Correct: ar.Correct,
+			CCRPercent: ar.CCR * 100, OERPercent: ar.OER * 100, HDPercent: ar.HD * 100,
+			LayersScored: ar.Layers, Metrics: ar.Metrics,
 		})
 	}
 	return rep

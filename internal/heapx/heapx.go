@@ -1,0 +1,56 @@
+// Package heapx is a typed slice binary min-heap shared by the hot paths
+// that outgrew container/heap: no interface{} boxing (one allocation per
+// push) and no indirect dispatch — elements are Item[V] pairs ordered by a
+// concrete int64 priority field, so the comparison compiles to a direct
+// integer compare in every instantiation. Callers own the backing slice,
+// so it can be reused across searches (`h = h[:0]`).
+package heapx
+
+// Item is one heap element: an int64 priority and a payload. Min-heap:
+// the smallest Pri pops first; equal priorities pop in unspecified (but
+// deterministic for a fixed push sequence) order.
+type Item[V any] struct {
+	Pri   int64
+	Value V
+}
+
+// Push adds it to the heap and returns the updated slice.
+func Push[V any](h []Item[V], it Item[V]) []Item[V] {
+	h = append(h, it)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent].Pri <= h[i].Pri {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+	return h
+}
+
+// Pop removes and returns the minimum element. It panics on an empty heap
+// (same contract as container/heap).
+func Pop[V any](h []Item[V]) ([]Item[V], Item[V]) {
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h[l].Pri < h[small].Pri {
+			small = l
+		}
+		if r < n && h[r].Pri < h[small].Pri {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return h, top
+}

@@ -1,0 +1,50 @@
+package heapx
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestHeapSortsRandomInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(200)
+		in := make([]int, n)
+		var h []Item[int]
+		for i := range in {
+			in[i] = rng.Intn(50) // duplicates included
+			h = Push(h, Item[int]{Pri: int64(in[i]), Value: i})
+		}
+		sort.Ints(in)
+		for i := 0; i < n; i++ {
+			var got Item[int]
+			h, got = Pop(h)
+			if got.Pri != int64(in[i]) {
+				t.Fatalf("trial %d: pop %d = %d, want %d", trial, i, got.Pri, in[i])
+			}
+		}
+		if len(h) != 0 {
+			t.Fatalf("trial %d: heap not drained: %d left", trial, len(h))
+		}
+	}
+}
+
+func TestHeapSingleElement(t *testing.T) {
+	h := Push(nil, Item[string]{Pri: 7, Value: "x"})
+	h, got := Pop(h)
+	if got.Value != "x" || got.Pri != 7 || len(h) != 0 {
+		t.Fatalf("got %+v, %d left", got, len(h))
+	}
+}
+
+func TestHeapReusesBacking(t *testing.T) {
+	h := make([]Item[int], 0, 64)
+	h = Push(h, Item[int]{Pri: 3})
+	h = Push(h, Item[int]{Pri: 1})
+	h, _ = Pop(h)
+	h, _ = Pop(h)
+	if cap(h) != 64 {
+		t.Fatalf("backing array reallocated: cap %d", cap(h))
+	}
+}

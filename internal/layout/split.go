@@ -96,13 +96,14 @@ func (d *Design) Split(layer int) (*SplitView, error) {
 		return nil, fmt.Errorf("layout: split layer M%d out of range (1..%d)", layer, d.Grid.Layers-1)
 	}
 	sv := &SplitView{Layer: layer, ByRoute: map[int][]int{}}
-	ids := make([]int, 0, len(d.Router.Nets()))
-	for id := range d.Router.Nets() {
+	nets := d.Router.Nets()
+	ids := make([]int, 0, len(nets))
+	for id := range nets {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
 	for _, id := range ids {
-		rn := d.Router.Net(id)
+		rn := nets[id]
 		// FEOL adjacency.
 		adj := map[route.Node][]route.Node{}
 		var boundary []route.Edge

@@ -13,11 +13,11 @@
 package route
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 
 	"splitmfg/internal/geom"
+	"splitmfg/internal/heapx"
 )
 
 // DefaultGCellNM is the default gcell pitch (two row heights).
@@ -142,11 +142,14 @@ type Router struct {
 	usageV []int32 // vertical segment usage
 	nets   map[int]*RoutedNet
 
-	// scratch for A*
+	// scratch for A*, reused across RouteNet calls so steady-state routing
+	// does not allocate per search
 	dist    []int64
 	visitID []int32
 	from    []int32
 	epoch   int32
+	pqBuf   []pqItem
+	seedBuf []int32
 }
 
 // NewRouter creates a router over the grid. When Options.Capacity is zero
@@ -186,10 +189,24 @@ func (r *Router) node(i int32) Node {
 	return Node{X: x, Y: y, Z: z}
 }
 
-// Nets returns the currently routed nets keyed by ID.
-func (r *Router) Nets() map[int]*RoutedNet { return r.nets }
+// Nets returns a snapshot of the currently routed nets keyed by ID. The
+// map is a copy, so callers can iterate, add, or delete entries without
+// corrupting router state; the *RoutedNet values are shared read-only
+// views — mutate a net only through RouteNet/RipUp.
+func (r *Router) Nets() map[int]*RoutedNet {
+	m := make(map[int]*RoutedNet, len(r.nets))
+	for id, rn := range r.nets {
+		m[id] = rn
+	}
+	return m
+}
 
-// Net returns one routed net, or nil.
+// NumNets returns the number of currently routed nets (cheaper than
+// snapshotting via Nets when only the count is needed).
+func (r *Router) NumNets() int { return len(r.nets) }
+
+// Net returns one routed net, or nil. The returned net is a shared
+// read-only view: mutate it only through RouteNet/RipUp.
 func (r *Router) Net(id int) *RoutedNet { return r.nets[id] }
 
 // RouteNet routes (or re-routes) net id connecting all pins, honoring the
@@ -316,25 +333,10 @@ const viaBase = 10 // via cost = viaBase * Opt.ViaCost / 4 scaled below
 
 func (r *Router) viaCost() int64 { return int64(10 * r.Opt.ViaCost / 4) }
 
-// pqItem is a priority-queue entry for A*.
-type pqItem struct {
-	node int32
-	f    int64
-}
-
-type pq []pqItem
-
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(a, b int) bool  { return q[a].f < q[b].f }
-func (q pq) Swap(a, b int)       { q[a], q[b] = q[b], q[a] }
-func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
-}
+// pqItem is a priority-queue entry for A*: Pri is the f-score, Value the
+// grid-node index. heapx gives a typed slice heap — no interface{} boxing
+// or indirect dispatch on the router's hottest path.
+type pqItem = heapx.Item[int32]
 
 // search runs A* from the tree frontier to the target node. Wire moves are
 // restricted to layers >= wireMin in the layer's preferred direction; via
@@ -390,17 +392,19 @@ func (r *Router) searchBounded(tree map[int32]bool, target Node, wireMin, detour
 	// Seed the frontier in sorted node order: map iteration order would
 	// otherwise leak into equal-cost tie-breaks and make routing
 	// nondeterministic across runs.
-	seeds := make([]int32, 0, len(tree))
+	seeds := r.seedBuf[:0]
 	for t := range tree {
 		seeds = append(seeds, t)
 	}
 	sort.Slice(seeds, func(i, j int) bool { return seeds[i] < seeds[j] })
-	var q pq
+	r.seedBuf = seeds
+	q := r.pqBuf[:0]
+	defer func() { r.pqBuf = q }()
 	for _, t := range seeds {
 		r.dist[t] = 0
 		r.visitID[t] = ep
 		r.from[t] = -1
-		heap.Push(&q, pqItem{t, h(t)})
+		q = heapx.Push(q, pqItem{Pri: h(t), Value: t})
 	}
 	relax := func(cur int32, next Node, cost int64) {
 		ni := r.idx(next)
@@ -409,13 +413,14 @@ func (r *Router) searchBounded(tree map[int32]bool, target Node, wireMin, detour
 			r.visitID[ni] = ep
 			r.dist[ni] = nd
 			r.from[ni] = cur
-			heap.Push(&q, pqItem{ni, nd + h(ni)})
+			q = heapx.Push(q, pqItem{Pri: nd + h(ni), Value: ni})
 		}
 	}
-	for q.Len() > 0 {
-		it := heap.Pop(&q).(pqItem)
-		cur := it.node
-		if r.visitID[cur] != ep || it.f > r.dist[cur]+h(cur) {
+	for len(q) > 0 {
+		var it pqItem
+		q, it = heapx.Pop(q)
+		cur := it.Value
+		if r.visitID[cur] != ep || it.Pri > r.dist[cur]+h(cur) {
 			continue // stale entry
 		}
 		if cur == tIdx {

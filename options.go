@@ -11,6 +11,7 @@ type pipelineConfig struct {
 	targetOER    float64
 	patternWords int
 	splitLayers  []int
+	attackers    []string
 	maxAttempts  int
 	parallelism  int
 	progress     ProgressFunc
@@ -60,6 +61,17 @@ func WithPatternWords(words int) Option {
 // (default M3, M4, M5 — the paper's Tables 4 and 5 setup).
 func WithSplitLayers(layers ...int) Option {
 	return func(c *pipelineConfig) { c.splitLayers = append([]int(nil), layers...) }
+}
+
+// WithAttackers selects the attacker engines Evaluate runs at every split
+// layer (default: "proximity", the paper's network-flow attack). Names
+// resolve against the engine registry — see Attackers() for the list; an
+// unknown name fails Evaluate with an error naming the registry. The first
+// engine that proposes an assignment is the primary attacker whose
+// CCR/OER/HD become the report's headline numbers; every engine gets its
+// own per-layer and averaged sections.
+func WithAttackers(names ...string) Option {
+	return func(c *pipelineConfig) { c.attackers = append([]string(nil), names...) }
 }
 
 // WithMaxAttempts caps the Protect escalation loop (default 6). 1 runs a

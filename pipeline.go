@@ -2,11 +2,14 @@ package splitmfg
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"time"
 
 	"splitmfg/internal/attack/crouting"
+	"splitmfg/internal/attack/engine"
 	"splitmfg/internal/cell"
 	"splitmfg/internal/defense/correction"
 	"splitmfg/internal/defense/randomize"
@@ -90,11 +93,12 @@ func (p *Pipeline) Protect(ctx context.Context, d *Design) (*ProtectResult, erro
 	return &ProtectResult{design: d, cfg: fc, res: res}, nil
 }
 
-// Evaluate runs the network-flow proximity attack on the layout at each
-// configured split layer (default M3/M4/M5), averaging CCR/OER/HD exactly
-// like the paper's Tables 4 and 5. Layers are attacked concurrently
-// (WithParallelism) with per-layer derived seeds, so the report is
-// identical at every parallelism level.
+// Evaluate runs the configured attacker engines (WithAttackers, default
+// the network-flow proximity attack) on the layout at each configured
+// split layer (default M3/M4/M5), averaging CCR/OER/HD exactly like the
+// paper's Tables 4 and 5. Layers are attacked concurrently
+// (WithParallelism) with per-(layer, engine) derived seeds, so the report
+// is identical at every parallelism level.
 func (p *Pipeline) Evaluate(ctx context.Context, l *Layout) (*SecurityReport, error) {
 	opt := p.evalOptions()
 	opt.OnlyPins = l.onlyPins // protected layouts score their randomized sinks only
@@ -110,11 +114,42 @@ func (p *Pipeline) evalOptions() flow.EvalOptions {
 	c := p.cfg
 	return flow.EvalOptions{
 		SplitLayers:  c.splitLayers,
+		Attackers:    c.attackers,
 		Seed:         c.seed,
 		PatternWords: c.patternWords,
 		Parallelism:  c.parallelism,
 		Progress:     c.progress,
 	}
+}
+
+// Attackers lists the registered attacker engines, sorted by name. Any of
+// them can be selected with WithAttackers; the set ships with "proximity"
+// (network-flow, the ISCAS adversary), "crouting" (routing-centric
+// candidate lists, the superblue adversary — metrics-only), "random" (the
+// chance baseline), "greedy" (direction-aware nearest driver), and
+// "ensemble" (majority vote of proximity+greedy+random).
+func Attackers() []string { return engine.Names() }
+
+// ParseAttackers parses a comma-separated attacker-engine list (e.g.
+// "proximity,greedy"), trimming whitespace around names. It rejects an
+// effectively empty list and any name not in the registry, naming the
+// registry in the error — the shared front door for every CLI -attacker
+// flag, so all front-ends validate identically and fail before any heavy
+// work starts.
+func ParseAttackers(s string) ([]string, error) {
+	var names []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			names = append(names, part)
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("splitmfg: empty attacker list %q", s)
+	}
+	if _, err := engine.Resolve(names); err != nil {
+		return nil, err
+	}
+	return names, nil
 }
 
 // Attack takes the attacker's perspective on an unprotected design: build

@@ -27,6 +27,14 @@ type SecurityReport = flow.SecurityReport
 // LayerReport is one split layer's attack outcome inside a SecurityReport.
 type LayerReport = flow.LayerReport
 
+// AttackReport is one attacker engine's outcome at one split layer inside
+// a LayerReport.
+type AttackReport = flow.AttackReport
+
+// AttackerReport is one attacker engine's averages over the non-vacuous
+// split layers inside a SecurityReport.
+type AttackerReport = flow.AttackerReport
+
 // PPAReport is the power/performance/area snapshot inside a ProtectReport.
 type PPAReport = flow.PPAReport
 

@@ -1,0 +1,87 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// JSON array on stdout, one entry per benchmark result:
+//
+//	go test -run XXX -bench=. -benchtime=1x ./... | benchjson > BENCH.json
+//
+// Each entry carries the benchmark name (GOMAXPROCS suffix stripped), the
+// iteration count, and ns/op, plus B/op and allocs/op when -benchmem was
+// set. CI uses it to persist the perf trajectory as a build artifact.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// Entry is one benchmark result.
+type Entry struct {
+	Benchmark   string  `json:"benchmark"`
+	Ops         int64   `json:"op"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkEvaluateSerialC880-8   1   123456789 ns/op
+//	BenchmarkRouteNet   5   361077773 ns/op   7822456 B/op   8407 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S*?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func run(in io.Reader, out io.Writer) error {
+	entries := []Entry{}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ops, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad iteration count in %q: %v", sc.Text(), err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return fmt.Errorf("bad ns/op in %q: %v", sc.Text(), err)
+		}
+		e := Entry{Benchmark: m[1], Ops: ops, NsPerOp: ns}
+		if m[4] != "" {
+			v, err := strconv.ParseInt(m[4], 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad B/op in %q: %v", sc.Text(), err)
+			}
+			e.BytesPerOp = &v
+		}
+		if m[5] != "" {
+			v, err := strconv.ParseInt(m[5], 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad allocs/op in %q: %v", sc.Text(), err)
+			}
+			e.AllocsPerOp = &v
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(out, string(b))
+	return err
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: splitmfg
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEvaluateSerialC880-8   	       1	 123456789 ns/op
+BenchmarkEvaluateParallelC880   	       3	  45678901.5 ns/op
+BenchmarkRouteNet-4   	       5	 361077773 ns/op	 7822456 B/op	    8407 allocs/op
+PASS
+ok  	splitmfg	1.234s
+`
+
+func TestRunParsesBenchOutput(t *testing.T) {
+	var out strings.Builder
+	if err := run(strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	var entries []Entry
+	if err := json.Unmarshal([]byte(out.String()), &entries); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(entries) != 3 {
+		t.Fatalf("parsed %d entries, want 3: %+v", len(entries), entries)
+	}
+	first := entries[0]
+	if first.Benchmark != "BenchmarkEvaluateSerialC880" || first.Ops != 1 || first.NsPerOp != 123456789 {
+		t.Fatalf("first entry = %+v", first)
+	}
+	if entries[1].NsPerOp != 45678901.5 {
+		t.Fatalf("fractional ns/op lost: %+v", entries[1])
+	}
+	third := entries[2]
+	if third.Benchmark != "BenchmarkRouteNet" {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %+v", third)
+	}
+	if third.BytesPerOp == nil || *third.BytesPerOp != 7822456 ||
+		third.AllocsPerOp == nil || *third.AllocsPerOp != 8407 {
+		t.Fatalf("benchmem fields wrong: %+v", third)
+	}
+}
+
+func TestRunEmptyInput(t *testing.T) {
+	var out strings.Builder
+	if err := run(strings.NewReader("no benchmarks here\n"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Fatalf("empty input should yield [], got %q", out.String())
+	}
+}
