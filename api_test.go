@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -296,6 +297,72 @@ func TestMultiAttackerReportSections(t *testing.T) {
 	if sec.CCRPercent != sec.PerAttacker[0].CCRPercent {
 		t.Fatalf("headline CCR %.3f != primary greedy CCR %.3f",
 			sec.CCRPercent, sec.PerAttacker[0].CCRPercent)
+	}
+}
+
+// TestDefenseCatalog: the defense registry covers all eight scheme
+// families the paper compares.
+func TestDefenseCatalog(t *testing.T) {
+	names := Defenses()
+	if len(names) < 8 {
+		t.Fatalf("defense registry has %d entries, want >= 8: %v", len(names), names)
+	}
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, want := range []string{
+		"randomize-correction", "naive-lifted", "placement-perturbation",
+		"pin-swapping", "routing-perturbation", "synergistic",
+		"routing-blockage", "sengupta-gcolor",
+	} {
+		if !have[want] {
+			t.Fatalf("registry missing %q: %v", want, names)
+		}
+	}
+}
+
+func TestParseDefenses(t *testing.T) {
+	got, err := ParseDefenses(" randomize-correction , pin-swapping ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "randomize-correction" || got[1] != "pin-swapping" {
+		t.Fatalf("ParseDefenses = %v", got)
+	}
+	for _, bad := range []string{"", " , ", "randomize-correction,bogus"} {
+		if _, err := ParseDefenses(bad); err == nil {
+			t.Fatalf("ParseDefenses(%q) accepted", bad)
+		}
+	}
+	// The error must name the registry so users can self-serve.
+	_, err = ParseDefenses("bogus")
+	if err == nil || !strings.Contains(err.Error(), "pin-swapping") {
+		t.Fatalf("ParseDefenses error does not list the registry: %v", err)
+	}
+}
+
+func TestMatrixUnknownDefenseFails(t *testing.T) {
+	design, err := LoadBenchmark("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := New(fastOptions(WithDefenses("bogus"))...)
+	if _, err := pipe.Matrix(context.Background(), design); err == nil {
+		t.Fatal("unknown defense accepted")
+	}
+}
+
+func TestMatrixCancellation(t *testing.T) {
+	design, err := LoadBenchmark("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := New(fastOptions(WithDefenses("pin-swapping"))...)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := pipe.Matrix(ctx, design); err == nil {
+		t.Fatal("cancelled Matrix returned no error")
 	}
 }
 

@@ -9,9 +9,16 @@
 //
 // Experiments: table1 table2 table3 table4 table5 table6 fig4 fig5 fig6
 // ppa ablation.
+//
+// With -matrix it instead runs the defense×attacker cross matrix on each
+// benchmark of the subset (default c432):
+//
+//	smbench -matrix -subset c432,c880 -defense randomize-correction,pin-swapping -attacker proximity,random
+//	smbench -list-defenses
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -36,8 +43,23 @@ func run(args []string, stdout io.Writer) error {
 	words := fs.Int("patterns", 256, "64-pattern words for OER/HD (256 = 16384 patterns)")
 	subset := fs.String("subset", "", "comma-separated ISCAS subset (default: all nine)")
 	fig4Design := fs.String("fig4design", "superblue18", "design for fig4/fig5 series")
+	defenses := fs.String("defense", "randomize-correction,naive-lifted,pin-swapping",
+		"comma-separated defense schemes for -matrix")
+	attackers := fs.String("attacker", "proximity", "comma-separated attacker engines for -matrix")
+	matrix := fs.Bool("matrix", false, "run the defense x attacker cross matrix on the subset instead of an experiment")
+	listDefenses := fs.Bool("list-defenses", false, "list the registered defense schemes and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *listDefenses {
+		for _, name := range splitmfg.Defenses() {
+			fmt.Fprintln(stdout, name)
+		}
+		return nil
+	}
+	if *matrix {
+		return runMatrix(stdout, *subset, *defenses, *attackers, *seed, *words, *scale)
 	}
 
 	cfg := splitmfg.ExperimentConfig{
@@ -112,6 +134,42 @@ func run(args []string, stdout io.Writer) error {
 		if err := runOne(name, table(name)); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// runMatrix renders the defense×attacker cross matrix for every benchmark
+// in the comma-separated subset (default c432).
+func runMatrix(stdout io.Writer, subset, defenses, attackers string, seed int64, words, scale int) error {
+	schemes, err := splitmfg.ParseDefenses(defenses)
+	if err != nil {
+		return err
+	}
+	engines, err := splitmfg.ParseAttackers(attackers)
+	if err != nil {
+		return err
+	}
+	names := []string{"c432"}
+	if subset != "" {
+		names = strings.Split(subset, ",")
+	}
+	pipe := splitmfg.New(
+		splitmfg.WithSeed(seed),
+		splitmfg.WithPatternWords(words),
+		splitmfg.WithDefenses(schemes...),
+		splitmfg.WithAttackers(engines...),
+	)
+	for _, name := range names {
+		design, err := splitmfg.LoadBenchmark(strings.TrimSpace(name), splitmfg.WithScale(scale))
+		if err != nil {
+			return err
+		}
+		rep, err := pipe.Matrix(context.Background(), design)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, splitmfg.RenderMatrix(rep))
+		fmt.Fprintln(stdout)
 	}
 	return nil
 }

@@ -22,6 +22,37 @@ func TestRunFig4CSV(t *testing.T) {
 	}
 }
 
+func TestRunMatrix(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-matrix", "-subset", "c432", "-patterns", "16",
+		"-defense", "pin-swapping", "-attacker", "random"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "defense x attacker matrix: c432") ||
+		!strings.Contains(out.String(), "pin-swapping") {
+		t.Fatalf("matrix output missing:\n%s", out.String())
+	}
+}
+
+func TestRunListDefenses(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list-defenses"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "randomize-correction") {
+		t.Fatalf("-list-defenses output:\n%s", out.String())
+	}
+}
+
+func TestRunMatrixUnknownDefense(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-matrix", "-defense", "bogus"}, &out); err == nil ||
+		!strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("unknown defense not rejected: %v", err)
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	var out strings.Builder
 	err := run([]string{"-exp", "table99"}, &out)

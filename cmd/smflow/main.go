@@ -8,6 +8,13 @@
 //	smflow -bench superblue18 -scale 300 -lift 8 -budget 5
 //	smflow -bench c880 -json -progress
 //	smflow -bench c432 -attacker proximity,greedy,random
+//
+// With -matrix it instead runs the defense×attacker cross-matrix
+// evaluation behind the paper's Tables 4/5: every -defense scheme is
+// built and every -attacker engine is run against it at each split layer.
+//
+//	smflow -bench c432 -matrix -defense randomize-correction,naive-lifted,pin-swapping -attacker proximity,greedy,random
+//	smflow -list-defenses
 package main
 
 import (
@@ -36,6 +43,10 @@ func run(args []string, stdout io.Writer) error {
 	seed := fs.Int64("seed", 1, "seed")
 	util := fs.Int("util", 0, "placement utilization (default: 70 ISCAS, published superblue values)")
 	attackers := fs.String("attacker", "proximity", "comma-separated attacker engines for the security evaluation")
+	defenses := fs.String("defense", "randomize-correction,naive-lifted,pin-swapping",
+		"comma-separated defense schemes for -matrix")
+	matrix := fs.Bool("matrix", false, "run the defense x attacker cross-matrix evaluation instead of the protect flow")
+	listDefenses := fs.Bool("list-defenses", false, "list the registered defense schemes and exit")
 	words := fs.Int("patterns", 0, "64-pattern words for OER/HD (default 256)")
 	attempts := fs.Int("attempts", 0, "escalation attempts (default 6; 1 = no escalation)")
 	out := fs.String("out", "", "write protected-layout DEF to this file")
@@ -46,7 +57,18 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
+	if *listDefenses {
+		for _, name := range splitmfg.Defenses() {
+			fmt.Fprintln(stdout, name)
+		}
+		return nil
+	}
+
 	engines, err := splitmfg.ParseAttackers(*attackers)
+	if err != nil {
+		return err
+	}
+	schemes, err := splitmfg.ParseDefenses(*defenses)
 	if err != nil {
 		return err
 	}
@@ -60,6 +82,7 @@ func run(args []string, stdout io.Writer) error {
 		splitmfg.WithUtilization(*util),
 		splitmfg.WithPPABudget(*budget),
 		splitmfg.WithAttackers(engines...),
+		splitmfg.WithDefenses(schemes...),
 		splitmfg.WithPatternWords(*words),
 		splitmfg.WithMaxAttempts(*attempts),
 	}
@@ -69,6 +92,25 @@ func run(args []string, stdout io.Writer) error {
 	pipe := splitmfg.New(opts...)
 
 	ctx := context.Background()
+	if *matrix {
+		if *out != "" || *vout != "" {
+			return fmt.Errorf("-matrix evaluates many layouts and exports none: drop -out/-verilog")
+		}
+		rep, err := pipe.Matrix(ctx, design)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			b, err := splitmfg.MarshalReport(rep)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, string(b))
+			return nil
+		}
+		fmt.Fprint(stdout, splitmfg.RenderMatrix(rep))
+		return nil
+	}
 	res, err := pipe.Protect(ctx, design)
 	if err != nil {
 		return err

@@ -50,11 +50,64 @@ func TestRunDEFExport(t *testing.T) {
 	}
 }
 
+func TestRunListDefenses(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list-defenses"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"randomize-correction", "naive-lifted", "pin-swapping", "sengupta-gcolor"} {
+		if !strings.Contains(out.String(), name) {
+			t.Fatalf("-list-defenses misses %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestRunMatrixJSON(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-bench", "c432", "-matrix", "-patterns", "16", "-json",
+		"-defense", "pin-swapping,sengupta-gcolor", "-attacker", "random"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Defenses []string `json:"defenses"`
+		Rows     []struct {
+			Defense string `json:"defense"`
+			Cells   []struct {
+				Attacker string `json:"attacker"`
+			} `json:"cells"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("invalid matrix JSON: %v\n%s", err, out.String())
+	}
+	if len(rep.Rows) != 2 || rep.Rows[0].Defense != "pin-swapping" ||
+		len(rep.Rows[0].Cells) != 1 || rep.Rows[0].Cells[0].Attacker != "random" {
+		t.Fatalf("unexpected matrix shape: %+v", rep)
+	}
+}
+
+func TestRunMatrixTable(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-bench", "c432", "-matrix", "-patterns", "16",
+		"-defense", "pin-swapping", "-attacker", "random"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "defense x attacker matrix") ||
+		!strings.Contains(out.String(), "pin-swapping") {
+		t.Fatalf("matrix table missing:\n%s", out.String())
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	for _, args := range [][]string{
 		{"-bench", "nope"},
-		{"-attacker", "bogus"}, // rejected before any heavy work
-		{"-attacker", ","},     // effectively empty list
+		{"-attacker", "bogus"},       // rejected before any heavy work
+		{"-attacker", ","},           // effectively empty list
+		{"-defense", "bogus"},        // unknown defense scheme
+		{"-defense", ","},            // effectively empty defense list
+		{"-matrix", "-out", "x.def"}, // matrix exports no layout: reject, don't silently no-op
 	} {
 		var buf strings.Builder
 		if err := run(args, &buf); err == nil {

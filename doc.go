@@ -18,6 +18,14 @@
 // gets its own per-layer and averaged report sections, and the first
 // assignment-producing engine supplies the headline CCR/OER/HD.
 //
+// Defenses are pluggable the same way: WithDefenses selects schemes from
+// the defense registry (Defenses() lists it — the paper's
+// randomize-correction, naive-lifted, and the prior-art baselines), and
+// Pipeline.Matrix runs the full defense×attacker cross product behind the
+// paper's Tables 4/5, reporting CCR/OER/HD per cell plus each scheme's
+// PPA overhead against the unprotected baseline as a deterministic
+// MatrixReport.
+//
 // Protect, Attack, and Evaluate take a context.Context and honor
 // cancellation at stage boundaries. WithProgress streams stage-completion
 // events with per-stage timings; WithParallelism fans the independent

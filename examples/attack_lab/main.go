@@ -9,6 +9,13 @@
 // doubles as a threat-model comparison: e.g.
 //
 //	go run ./examples/attack_lab -bench c880 -attacker proximity,greedy,random
+//
+// -defense adds the defense dimension: after the sweep, the selected
+// defense schemes are each built and attacked by every selected engine at
+// M3/M4/M5, printing the defense×attacker cross matrix the paper's
+// Tables 4/5 report:
+//
+//	go run ./examples/attack_lab -bench c880 -defense randomize-correction,pin-swapping,sengupta-gcolor
 package main
 
 import (
@@ -26,11 +33,20 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed")
 	attackers := flag.String("attacker", "proximity",
 		"comma-separated attacker engines (registry: "+strings.Join(splitmfg.Attackers(), ", ")+")")
+	defenses := flag.String("defense", "",
+		"comma-separated defense schemes for an extra cross-matrix section (registry: "+
+			strings.Join(splitmfg.Defenses(), ", ")+")")
 	flag.Parse()
 
 	engines, err := splitmfg.ParseAttackers(*attackers)
 	if err != nil {
 		log.Fatal(err)
+	}
+	var schemes []string
+	if *defenses != "" {
+		if schemes, err = splitmfg.ParseDefenses(*defenses); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	ctx := context.Background()
@@ -82,6 +98,25 @@ func main() {
 			fmt.Printf("  %-10s %5.1f%% -> %5.1f%%\n", ar.Attacker, ar.CCRPercent, pr.CCRPercent)
 		}
 	}
+	if len(schemes) > 0 {
+		// The defense dimension: every selected scheme against every
+		// selected attacker, averaged over the paper's M3/M4/M5 splits.
+		mpipe := splitmfg.New(
+			splitmfg.WithSeed(*seed),
+			splitmfg.WithLiftLayer(6),
+			splitmfg.WithUtilization(70),
+			splitmfg.WithDefenses(schemes...),
+			splitmfg.WithAttackers(engines...),
+			splitmfg.WithPatternWords(32),
+		)
+		rep, err := mpipe.Matrix(ctx, design)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(splitmfg.RenderMatrix(rep))
+	}
+
 	fmt.Println()
 	fmt.Println("Reading: for the original design the exposure shrinks with higher")
 	fmt.Println("splits only because fewer nets cross; for the protected design the")

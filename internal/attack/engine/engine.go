@@ -28,14 +28,13 @@ package engine
 
 import (
 	"context"
-	"fmt"
 	"hash/fnv"
-	"sort"
 	"sync"
 
 	"splitmfg/internal/layout"
 	"splitmfg/internal/metrics"
 	"splitmfg/internal/netlist"
+	"splitmfg/internal/registry"
 )
 
 // Options parameterizes one engine invocation.
@@ -134,56 +133,23 @@ type Engine interface {
 	Attack(ctx context.Context, d *layout.Design, sv *layout.SplitView, opt Options) (Result, error)
 }
 
-var (
-	regMu    sync.RWMutex
-	registry = map[string]Engine{}
-)
+// reg is the process-wide attacker registry (shared generic mechanics in
+// internal/registry).
+var reg = registry.New[Engine]("attacker")
 
 // Register adds an engine to the registry, replacing any previous engine
 // of the same name. It panics on an empty name.
-func Register(e Engine) {
-	name := e.Name()
-	if name == "" {
-		panic("engine: Register with empty name")
-	}
-	regMu.Lock()
-	registry[name] = e
-	regMu.Unlock()
-}
+func Register(e Engine) { reg.Register(e) }
 
 // Lookup returns the engine registered under name.
-func Lookup(name string) (Engine, bool) {
-	regMu.RLock()
-	e, ok := registry[name]
-	regMu.RUnlock()
-	return e, ok
-}
+func Lookup(name string) (Engine, bool) { return reg.Lookup(name) }
 
 // Names lists the registered engine names in sorted order.
-func Names() []string {
-	regMu.RLock()
-	names := make([]string, 0, len(registry))
-	for name := range registry {
-		names = append(names, name)
-	}
-	regMu.RUnlock()
-	sort.Strings(names)
-	return names
-}
+func Names() []string { return reg.Names() }
 
 // Resolve maps engine names to engines, failing with a message that lists
 // the registry when any name is unknown.
-func Resolve(names []string) ([]Engine, error) {
-	out := make([]Engine, 0, len(names))
-	for _, name := range names {
-		e, ok := Lookup(name)
-		if !ok {
-			return nil, fmt.Errorf("engine: unknown attacker %q (have %v)", name, Names())
-		}
-		out = append(out, e)
-	}
-	return out, nil
-}
+func Resolve(names []string) ([]Engine, error) { return reg.Resolve(names) }
 
 // DeriveSeed mixes an engine-local label into a seed (FNV-1a then a
 // splitmix64 finalizer), giving each engine/member an independent,

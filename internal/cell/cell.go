@@ -55,7 +55,11 @@ func (m *Master) String() string { return m.Name }
 
 // Delay returns the pin-to-pin delay in ps for the given load in fF.
 func (m *Master) Delay(loadFF float64) float64 {
-	return m.Intrinsic + m.DriveRes*loadFF
+	// The explicit conversion forces the product to round before the add:
+	// without it the compiler may fuse x + y*z into an FMA on arm64 but
+	// not amd64, making the last ulp of every delay — and the golden
+	// report bytes — architecture-dependent.
+	return m.Intrinsic + float64(m.DriveRes*loadFF)
 }
 
 // Library is a collection of masters plus technology data.

@@ -1,12 +1,10 @@
 package baselines
 
 import (
-	"context"
 	"testing"
 
 	"splitmfg/internal/bench"
 	"splitmfg/internal/cell"
-	"splitmfg/internal/flow"
 	"splitmfg/internal/layout"
 	"splitmfg/internal/netlist"
 )
@@ -90,31 +88,6 @@ func TestGColorNeighborsShareColor(t *testing.T) {
 				t.Fatalf("connected gates %d,%d share color %d", g.ID, nb, colors[g.ID])
 			}
 		}
-	}
-}
-
-func TestSenguptaReducesAttackCCR(t *testing.T) {
-	// The defense's whole point: after G-Color relocation the proximity
-	// attack must do worse than on the untouched layout.
-	nl, lib := c432(t)
-	orig, err := PlacementPerturbation(nl, lib, Options{Seed: 3, Fraction: 0.0001})
-	if err != nil {
-		t.Fatal(err)
-	}
-	prot, err := Sengupta(nl, lib, GColor, Options{Seed: 3})
-	if err != nil {
-		t.Fatal(err)
-	}
-	so, err := flow.EvaluateSecurity(context.Background(), orig, nl, flow.EvalOptions{SplitLayers: []int{3, 4}, Seed: 3, PatternWords: 16})
-	if err != nil {
-		t.Fatal(err)
-	}
-	sp, err := flow.EvaluateSecurity(context.Background(), prot, nl, flow.EvalOptions{SplitLayers: []int{3, 4}, Seed: 3, PatternWords: 16})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if so.Protected > 0 && sp.Protected > 0 && sp.CCR > so.CCR+0.1 {
-		t.Fatalf("G-Color increased CCR: %.2f -> %.2f", so.CCR, sp.CCR)
 	}
 }
 

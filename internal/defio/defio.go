@@ -158,8 +158,14 @@ func Parse(r io.Reader) (*File, error) {
 		fields := strings.Fields(line)
 		switch {
 		case strings.HasPrefix(line, "DESIGN "):
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("defio: line %d: bad DESIGN", lineNo)
+			}
 			f.Design = fields[1]
 		case strings.HasPrefix(line, "UNITS "):
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("defio: line %d: bad units", lineNo)
+			}
 			v, err := strconv.Atoi(fields[3])
 			if err != nil {
 				return nil, fmt.Errorf("defio: line %d: bad units", lineNo)

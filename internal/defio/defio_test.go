@@ -141,6 +141,9 @@ func TestParseErrors(t *testing.T) {
 	cases := []string{
 		"DIEAREA ( 0 0 ) ( 10 ) ;",
 		"UNITS DISTANCE MICRONS xyz ;",
+		// Truncated headers must error, not index out of range (found by
+		// FuzzReadDEF).
+		"UNITS DISTANCE\n",
 	}
 	for _, src := range cases {
 		if _, err := Parse(strings.NewReader(src)); err == nil {

@@ -1,0 +1,250 @@
+package flow
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+
+	defengine "splitmfg/internal/defense/engine"
+
+	"splitmfg/internal/attack/engine"
+	"splitmfg/internal/cell"
+	"splitmfg/internal/defense/correction"
+	"splitmfg/internal/netlist"
+	"splitmfg/internal/timing"
+)
+
+// StageDefense is emitted once per distinct defense that completes during
+// a matrix evaluation (Detail carries the defense name). A name requested
+// twice is computed — and reported — once; a failed build emits no event,
+// the error surfaces from EvaluateMatrix instead.
+const StageDefense Stage = "defense"
+
+// MatrixOptions parameterizes EvaluateMatrix.
+type MatrixOptions struct {
+	Defenses     []string     // defense-engine names (rows; default "randomize-correction")
+	Attackers    []string     // attacker-engine names (columns; default "proximity")
+	SplitLayers  []int        // layers each pair is attacked at (default M3,M4,M5)
+	Seed         int64        // master seed; every (defense, attacker, layer) derives its own stream
+	PatternWords int          // 64-pattern words for OER/HD (default 256)
+	Parallelism  int          // concurrent defense rows and layer attacks; 0 = GOMAXPROCS, 1 = serial
+	LiftLayer    int          // lift layer for lifting defenses (default 6)
+	UtilPercent  int          // placement utilization (default 70)
+	TargetOER    float64      // randomization stop criterion (default 0.999)
+	Fraction     float64      // perturbed fraction for prior-art defenses (0 = published-ish defaults)
+	Progress     ProgressFunc // optional per-defense / per-layer completion events
+}
+
+func (o MatrixOptions) withDefaults() MatrixOptions {
+	if len(o.Defenses) == 0 {
+		o.Defenses = []string{"randomize-correction"}
+	}
+	if len(o.Attackers) == 0 {
+		o.Attackers = []string{"proximity"}
+	}
+	if len(o.SplitLayers) == 0 {
+		o.SplitLayers = []int{3, 4, 5}
+	}
+	if o.PatternWords == 0 {
+		o.PatternWords = 256
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// MatrixRow is one defense's full outcome: its PPA cost relative to the
+// unprotected baseline plus the attacker panel's results. The cells of
+// the paper's Tables 4/5 cross product are Security.PerAttacker (one
+// AttackerResult per requested attacker, in request order); Security also
+// carries the full per-layer detail.
+type MatrixRow struct {
+	Defense  string
+	Swaps    int // connectivity exchanges the scheme performed
+	PPA      timing.PPA
+	AreaOH   float64 // percent vs the unprotected baseline
+	PowerOH  float64
+	DelayOH  float64
+	Metrics  map[string]float64 // scheme-specific extras
+	Security SecurityResult
+	Elapsed  time.Duration
+}
+
+// MatrixResult is the defense×attacker cross matrix over one design.
+type MatrixResult struct {
+	BasePPA timing.PPA  // the unprotected baseline's PPA
+	Rows    []MatrixRow // one per requested defense, in request order
+}
+
+// matrixEntry is the memoized computation for one distinct defense name:
+// requesting the same defense twice in one matrix reuses the built layout
+// and its evaluation instead of re-running the (expensive) pair sweep.
+type matrixEntry struct {
+	row MatrixRow
+	err error
+}
+
+// EvaluateMatrix builds every requested defense on the netlist and runs
+// every requested attacker against it at each split layer — the full cross
+// product behind the paper's Tables 4 and 5. Rows are defenses, columns are
+// attackers, and each cell averages CCR/OER/HD over the split layers; each
+// row also carries the defense's PPA overhead against the unprotected
+// baseline.
+//
+// Every (defense, attacker, layer) triple derives its own independent RNG
+// stream from the master seed (FNV label mixing + splitmix64), and rows are
+// merged in request order, so the result — and its serialized MatrixReport
+// — is byte-identical at every parallelism level. A defense name requested
+// twice is computed once (per-matrix memo); an attacker requested twice
+// within a layer is deduplicated by the attack engine's per-layer memo.
+func EvaluateMatrix(ctx context.Context, nl *netlist.Netlist, lib *cell.Library, opt MatrixOptions) (MatrixResult, error) {
+	opt = opt.withDefaults()
+	var out MatrixResult
+	if _, err := defengine.Resolve(opt.Defenses); err != nil {
+		return out, err
+	}
+	if _, err := engine.Resolve(opt.Attackers); err != nil {
+		return out, err
+	}
+	// One emitter for the whole matrix: concurrent defense rows and their
+	// nested layer evaluations all funnel through its single mutex, which
+	// is what upholds the documented ProgressFunc contract (calls are
+	// always serialized, implementations need no locking). Handing the
+	// raw opt.Progress to each nested EvaluateSecurity would give every
+	// row its own lock and race the user's callback.
+	em := newEmitter(opt.Progress)
+	if em != nil {
+		opt.Progress = em.emit
+	}
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+
+	// The unprotected baseline anchors every row's PPA delta.
+	base, err := correction.BuildOriginal(nl, lib, correction.Options{
+		LiftLayer: opt.LiftLayer, UtilPercent: opt.UtilPercent, Seed: opt.Seed,
+	})
+	if err != nil {
+		return out, err
+	}
+	out.BasePPA, err = timing.AnalyzeDesign(base, lib)
+	if err != nil {
+		return out, err
+	}
+
+	// Distinct defenses only: the memo key is the defense name, because a
+	// defense is a deterministic function of (netlist, seed) and the seed
+	// is derived from the name.
+	distinct := make([]string, 0, len(opt.Defenses))
+	seen := map[string]bool{}
+	for _, name := range opt.Defenses {
+		if !seen[name] {
+			seen[name] = true
+			distinct = append(distinct, name)
+		}
+	}
+	entries := make([]matrixEntry, len(distinct))
+	workers := opt.Parallelism
+	if workers > len(distinct) {
+		workers = len(distinct)
+	}
+	// Split the one parallelism budget between the row pool and each
+	// row's nested layer pool: `workers` rows in flight, each attacking
+	// up to Parallelism/workers layers at once. Without the division the
+	// nested pools would multiply (rows × layers concurrent attacks),
+	// oversubscribing the CPU and holding rows×layers split views live.
+	inner := opt.Parallelism / workers
+	if inner < 1 {
+		inner = 1
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				entries[i].row, entries[i].err = evaluateDefense(ctx, nl, lib, distinct[i], out.BasePPA, inner, opt)
+				if entries[i].err == nil {
+					em.emit(Event{Stage: StageDefense, Detail: distinct[i], Elapsed: entries[i].row.Elapsed})
+				}
+			}
+		}()
+	}
+	for i := range distinct {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	byName := make(map[string]*matrixEntry, len(distinct))
+	for i, name := range distinct {
+		byName[name] = &entries[i]
+	}
+	for _, name := range opt.Defenses {
+		e := byName[name]
+		if e.err != nil {
+			return out, e.err
+		}
+		out.Rows = append(out.Rows, e.row)
+	}
+	return out, nil
+}
+
+// evaluateDefense computes one matrix row: build the defense's layout with
+// a name-derived seed, analyze its PPA against the baseline, then run the
+// full attacker panel over the split layers with an independent
+// name-derived evaluation seed.
+func evaluateDefense(ctx context.Context, nl *netlist.Netlist, lib *cell.Library,
+	name string, basePPA timing.PPA, parallelism int, opt MatrixOptions) (MatrixRow, error) {
+	start := time.Now()
+	row := MatrixRow{Defense: name}
+	def, _ := defengine.Lookup(name) // validated up front in EvaluateMatrix
+	// Every defense receives the same scope seed (the defengine.Options
+	// contract, mirroring attack engines): each scheme derives its own
+	// streams by label, and the shared "randomize" label is what keeps
+	// naive-lifted protecting exactly randomize-correction's sink set.
+	prot, err := def.Protect(ctx, nl, lib, defengine.Options{
+		Seed:        defengine.DeriveSeed(opt.Seed, "defense"),
+		LiftLayer:   opt.LiftLayer,
+		UtilPercent: opt.UtilPercent,
+		TargetOER:   opt.TargetOER,
+		Fraction:    opt.Fraction,
+	})
+	if err != nil {
+		return row, err
+	}
+	row.Swaps = prot.Swaps
+	row.Metrics = prot.Metrics
+
+	// Lifting schemes are scored on the restored design against the
+	// original netlist (the erroneous FEOL netlist is not what the chip
+	// computes after BEOL restoration); flat schemes on the design itself.
+	if prot.Corr != nil {
+		row.PPA, err = timing.AnalyzeRestored(prot.Design, nl, prot.Design.Masters, lib)
+	} else {
+		row.PPA, err = timing.AnalyzeDesign(prot.Design, lib)
+	}
+	if err != nil {
+		return row, err
+	}
+	row.AreaOH, row.PowerOH, row.DelayOH = row.PPA.Overhead(basePPA)
+
+	sec, err := EvaluateSecurity(ctx, prot.Design, nl, EvalOptions{
+		SplitLayers:  opt.SplitLayers,
+		Attackers:    opt.Attackers,
+		OnlyPins:     prot.ProtectedPins,
+		Seed:         defengine.DeriveSeed(opt.Seed, "matrix/"+name),
+		PatternWords: opt.PatternWords,
+		Parallelism:  parallelism,
+		Progress:     opt.Progress,
+	})
+	if err != nil {
+		return row, err
+	}
+	row.Security = sec
+	row.Elapsed = time.Since(start)
+	return row, nil
+}

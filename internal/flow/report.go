@@ -102,15 +102,19 @@ type LayerReport struct {
 // AttackerReport is one attacker engine's averages over the non-vacuous
 // split layers.
 type AttackerReport struct {
-	Attacker     string             `json:"attacker"`
-	Scored       bool               `json:"scored"`
-	Fragments    int                `json:"fragments,omitempty"`
-	Correct      int                `json:"correct,omitempty"`
-	CCRPercent   float64            `json:"ccr_percent"`
-	OERPercent   float64            `json:"oer_percent"`
-	HDPercent    float64            `json:"hd_percent"`
-	LayersScored int                `json:"layers_scored"`
-	Metrics      map[string]float64 `json:"metrics,omitempty"`
+	Attacker   string  `json:"attacker"`
+	Scored     bool    `json:"scored"`
+	Fragments  int     `json:"fragments,omitempty"`
+	Correct    int     `json:"correct,omitempty"`
+	CCRPercent float64 `json:"ccr_percent"`
+	OERPercent float64 `json:"oer_percent"`
+	HDPercent  float64 `json:"hd_percent"`
+	// LayersRun counts the non-vacuous layers the engine ran on — a
+	// metrics-only engine runs without scoring, so this is deliberately
+	// NOT named like SecurityReport.LayersScored (which counts layers
+	// whose CCR/OER/HD entered the headline averages).
+	LayersRun int                `json:"layers_run"`
+	Metrics   map[string]float64 `json:"metrics,omitempty"`
 }
 
 // SecurityReport is the unified, JSON-serializable summary of a security
@@ -127,6 +131,78 @@ type SecurityReport struct {
 	LayersScored int              `json:"layers_scored"`
 	PerLayer     []LayerReport    `json:"per_layer"`
 	PerAttacker  []AttackerReport `json:"per_attacker,omitempty"`
+}
+
+// MatrixCellReport is the JSON shape of one (defense, attacker) cell: one
+// attacker's averages against one defense — exactly an AttackerReport, so
+// the two shapes can never drift apart.
+type MatrixCellReport = AttackerReport
+
+// MatrixRowReport is the JSON shape of one defense row: PPA deltas against
+// the unprotected baseline plus one cell per requested attacker. It carries
+// no wall-clock fields, so a fixed seed and configuration marshal to
+// byte-identical JSON.
+type MatrixRowReport struct {
+	Defense    string             `json:"defense"`
+	Swaps      int                `json:"swaps,omitempty"`
+	AreaOHPct  float64            `json:"area_overhead_percent"`
+	PowerOHPct float64            `json:"power_overhead_percent"`
+	DelayOHPct float64            `json:"delay_overhead_percent"`
+	PPA        PPAReport          `json:"ppa"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	Cells      []MatrixCellReport `json:"cells"`
+}
+
+// MatrixReport is the unified, JSON-serializable defense×attacker cross
+// matrix (rows = defenses, columns = attackers, cells = CCR/OER/HD averaged
+// over the split layers). Serialization is deterministic: rows and cells
+// follow request order, metric maps encode with sorted keys, and nothing
+// depends on evaluation parallelism.
+type MatrixReport struct {
+	Design      string            `json:"design"`
+	Seed        int64             `json:"seed"`
+	SplitLayers []int             `json:"split_layers"`
+	Defenses    []string          `json:"defenses"`
+	Attackers   []string          `json:"attackers"`
+	BasePPA     PPAReport         `json:"base_ppa"`
+	Rows        []MatrixRowReport `json:"rows"`
+}
+
+// Report converts the matrix to its JSON-serializable form.
+func (m MatrixResult) Report(design string, opt MatrixOptions) MatrixReport {
+	opt = opt.withDefaults()
+	rep := MatrixReport{
+		Design:      design,
+		Seed:        opt.Seed,
+		SplitLayers: append([]int(nil), opt.SplitLayers...),
+		Defenses:    append([]string(nil), opt.Defenses...),
+		Attackers:   append([]string(nil), opt.Attackers...),
+		BasePPA:     ppaReport(m.BasePPA),
+	}
+	for _, row := range m.Rows {
+		rrep := MatrixRowReport{
+			Defense: row.Defense, Swaps: row.Swaps,
+			AreaOHPct: row.AreaOH, PowerOHPct: row.PowerOH, DelayOHPct: row.DelayOH,
+			PPA: ppaReport(row.PPA), Metrics: row.Metrics,
+		}
+		for _, ar := range row.Security.PerAttacker {
+			rrep.Cells = append(rrep.Cells, attackerReport(ar))
+		}
+		rep.Rows = append(rep.Rows, rrep)
+	}
+	return rep
+}
+
+// attackerReport converts one attacker's averaged outcome to its JSON
+// shape — shared by SecurityReport's per_attacker section and the matrix
+// cells.
+func attackerReport(ar AttackerResult) AttackerReport {
+	return AttackerReport{
+		Attacker: ar.Attacker, Scored: ar.Scored,
+		Fragments: ar.Fragments, Correct: ar.Correct,
+		CCRPercent: ar.CCR * 100, OERPercent: ar.OER * 100, HDPercent: ar.HD * 100,
+		LayersRun: ar.Layers, Metrics: ar.Metrics,
+	}
 }
 
 // Report converts the result to its JSON-serializable form.
@@ -160,12 +236,7 @@ func (s SecurityResult) Report(design string, opt EvalOptions) SecurityReport {
 		rep.PerLayer = append(rep.PerLayer, lrep)
 	}
 	for _, ar := range s.PerAttacker {
-		rep.PerAttacker = append(rep.PerAttacker, AttackerReport{
-			Attacker: ar.Attacker, Scored: ar.Scored,
-			Fragments: ar.Fragments, Correct: ar.Correct,
-			CCRPercent: ar.CCR * 100, OERPercent: ar.OER * 100, HDPercent: ar.HD * 100,
-			LayersScored: ar.Layers, Metrics: ar.Metrics,
-		})
+		rep.PerAttacker = append(rep.PerAttacker, attackerReport(ar))
 	}
 	return rep
 }

@@ -1,0 +1,76 @@
+// Package registry provides the generic, concurrency-safe name-keyed
+// plug-in store shared by the attacker and defense engine layers. Both
+// layers expose the same surface — Register/Lookup/Names/Resolve over
+// values selected by Name() — so the mechanics live here once: a behavior
+// fix (locking, error wording, validation) lands in every registry at the
+// same time instead of drifting between hand-rolled copies.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Named is anything registrable by name.
+type Named interface{ Name() string }
+
+// Registry is a process-wide name -> value store. The noun ("attacker",
+// "defense") names the kind in error messages so CLI users can tell which
+// flag was wrong.
+type Registry[T Named] struct {
+	noun string
+	mu   sync.RWMutex
+	m    map[string]T
+}
+
+// New returns an empty registry whose errors call entries by the noun.
+func New[T Named](noun string) *Registry[T] {
+	return &Registry[T]{noun: noun, m: map[string]T{}}
+}
+
+// Register adds a value, replacing any previous value of the same name.
+// It panics on an empty name.
+func (r *Registry[T]) Register(v T) {
+	name := v.Name()
+	if name == "" {
+		panic("registry: Register with empty " + r.noun + " name")
+	}
+	r.mu.Lock()
+	r.m[name] = v
+	r.mu.Unlock()
+}
+
+// Lookup returns the value registered under name.
+func (r *Registry[T]) Lookup(name string) (T, bool) {
+	r.mu.RLock()
+	v, ok := r.m[name]
+	r.mu.RUnlock()
+	return v, ok
+}
+
+// Names lists the registered names in sorted order.
+func (r *Registry[T]) Names() []string {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.m))
+	for name := range r.m {
+		names = append(names, name)
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// Resolve maps names to values, failing with a message that names the
+// offender and lists the registry when any name is unknown.
+func (r *Registry[T]) Resolve(names []string) ([]T, error) {
+	out := make([]T, 0, len(names))
+	for _, name := range names {
+		v, ok := r.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("registry: unknown %s %q (have %v)", r.noun, name, r.Names())
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,66 @@
+package registry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+type fake string
+
+func (f fake) Name() string { return string(f) }
+
+func TestRegisterLookupNamesResolve(t *testing.T) {
+	r := New[fake]("widget")
+	r.Register(fake("b"))
+	r.Register(fake("a"))
+	if got := r.Names(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Names = %v", got)
+	}
+	if v, ok := r.Lookup("a"); !ok || v != fake("a") {
+		t.Fatalf("Lookup(a) = %v, %v", v, ok)
+	}
+	if _, ok := r.Lookup("c"); ok {
+		t.Fatal("Lookup of unregistered name succeeded")
+	}
+	vs, err := r.Resolve([]string{"b", "a", "b"})
+	if err != nil || len(vs) != 3 {
+		t.Fatalf("Resolve = %v, %v", vs, err)
+	}
+	_, err = r.Resolve([]string{"a", "nope"})
+	if err == nil || !strings.Contains(err.Error(), `unknown widget "nope"`) ||
+		!strings.Contains(err.Error(), "[a b]") {
+		t.Fatalf("Resolve error should name the noun, offender, and registry: %v", err)
+	}
+}
+
+func TestRegisterReplacesAndPanicsOnEmpty(t *testing.T) {
+	r := New[fake]("widget")
+	r.Register(fake("x"))
+	r.Register(fake("x")) // replace, not duplicate
+	if got := r.Names(); len(got) != 1 {
+		t.Fatalf("Names after replace = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Register with empty name did not panic")
+		}
+	}()
+	r.Register(fake(""))
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	r := New[fake]("widget")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Register(fake("x"))
+			r.Lookup("x")
+			r.Names()
+			r.Resolve([]string{"x"})
+		}()
+	}
+	wg.Wait()
+}

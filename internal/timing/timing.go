@@ -14,12 +14,27 @@ package timing
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"splitmfg/internal/cell"
 	"splitmfg/internal/geom"
 	"splitmfg/internal/layout"
 	"splitmfg/internal/netlist"
 )
+
+// taggedRouteIDs returns the design's route IDs in ascending order.
+// Several routed entities (trunk, stubs, restoration wires) can map to the
+// same net, and float accumulation is not associative: summing their RC in
+// map-iteration order would make the last ulp of delay/power differ from
+// run to run, breaking byte-stable golden reports.
+func taggedRouteIDs(d *layout.Design) []int {
+	ids := make([]int, 0, len(d.NetOf))
+	for routeID := range d.NetOf {
+		ids = append(ids, routeID)
+	}
+	sort.Ints(ids)
+	return ids
+}
 
 // NetLoad carries the physical load of one netlist net.
 type NetLoad struct {
@@ -71,7 +86,8 @@ const (
 // implement).
 func LoadsFromDesign(d *layout.Design, lib *cell.Library) []NetLoad {
 	loads := make([]NetLoad, d.Netlist.NumNets())
-	for routeID, netID := range d.NetOf {
+	for _, routeID := range taggedRouteIDs(d) {
+		netID := d.NetOf[routeID]
 		if netID < 0 || netID >= len(loads) {
 			continue
 		}
@@ -90,7 +106,10 @@ func LoadsFromDesign(d *layout.Design, lib *cell.Library) []NetLoad {
 			c := lib.WireCapPerUM[e.A.Z] * lenUM
 			r := lib.WireResPerUM[e.A.Z] * lenUM
 			capFF += c
-			delay += 0.5 * r * c // distributed RC
+			// float64() forces rounding before the add so the compiler
+			// cannot fuse into an architecture-dependent FMA (golden
+			// reports compare these sums byte-for-byte).
+			delay += float64(0.5 * r * c) // distributed RC
 		}
 		loads[netID].WireCapFF += capFF
 		loads[netID].WireDelayPS += delay
@@ -154,10 +173,10 @@ func Analyze(nl *netlist.Netlist, masters []*cell.Master, loads []NetLoad, die g
 	var leakNW, dynFJ float64
 	for _, g := range nl.Gates {
 		leakNW += masters[g.ID].Leakage
-		dynFJ += switchingActivity * masters[g.ID].SwitchE
+		dynFJ += float64(switchingActivity * masters[g.ID].SwitchE) // float64(): no FMA, see LoadsFromDesign
 	}
 	for _, n := range nl.Nets {
-		dynFJ += switchingActivity * 0.5 * netCap[n.ID] * supplyV * supplyV
+		dynFJ += float64(switchingActivity * 0.5 * netCap[n.ID] * supplyV * supplyV)
 	}
 	// fJ per cycle at clockGHz -> µW: 1 fJ/ns = 1 µW.
 	p.PowerUW = leakNW/1000 + dynFJ*clockGHz
@@ -189,7 +208,8 @@ func AnalyzeDesign(d *layout.Design, lib *cell.Library) (PPA, error) {
 // arcs timing-disabled.
 func AnalyzeRestored(d *layout.Design, original *netlist.Netlist, masters []*cell.Master, lib *cell.Library) (PPA, error) {
 	loads := make([]NetLoad, original.NumNets())
-	for routeID, netID := range d.NetOf {
+	for _, routeID := range taggedRouteIDs(d) {
+		netID := d.NetOf[routeID]
 		if netID < 0 || netID >= len(loads) {
 			continue
 		}
@@ -207,7 +227,7 @@ func AnalyzeRestored(d *layout.Design, original *netlist.Netlist, masters []*cel
 			c := lib.WireCapPerUM[e.A.Z] * lenUM
 			r := lib.WireResPerUM[e.A.Z] * lenUM
 			loads[netID].WireCapFF += c
-			loads[netID].WireDelayPS += 0.5 * r * c
+			loads[netID].WireDelayPS += float64(0.5 * r * c) // float64(): no FMA, see LoadsFromDesign
 		}
 	}
 	p, err := Analyze(original, masters, loads, d.Placement.Die)

@@ -156,6 +156,11 @@ func TestParseErrors(t *testing.T) {
 			FROB2_X1 u1 (.A1(a), .Y(y)); endmodule`},
 		{"vector", `module m (a, y); input [3:0] a; output y; endmodule`},
 		{"outputundriven", `module m (a, y); input a; output y; endmodule`},
+		// Truncated sources must error, not loop forever at EOF (found by
+		// FuzzParse: peek() repeats the eof sentinel indefinitely).
+		{"eofinportlist", `module m (a`},
+		{"eofindecl", `module m (a, y); input a, y`},
+		{"eofininstance", `module m (a, y); input a; output y; INV_X1 g1 (.A1(a)`},
 	}
 	for _, c := range cases {
 		if _, err := Parse(strings.NewReader(c.src)); err == nil {

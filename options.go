@@ -12,6 +12,8 @@ type pipelineConfig struct {
 	patternWords int
 	splitLayers  []int
 	attackers    []string
+	defenses     []string
+	fraction     float64
 	maxAttempts  int
 	parallelism  int
 	progress     ProgressFunc
@@ -72,6 +74,22 @@ func WithSplitLayers(layers ...int) Option {
 // own per-layer and averaged sections.
 func WithAttackers(names ...string) Option {
 	return func(c *pipelineConfig) { c.attackers = append([]string(nil), names...) }
+}
+
+// WithDefenses selects the defense schemes Matrix builds and attacks
+// (default: "randomize-correction", the paper's proposed scheme). Names
+// resolve against the defense-engine registry — see Defenses() for the
+// list; an unknown name fails Matrix with an error naming the registry.
+// Each defense becomes one row of the matrix, in the given order.
+func WithDefenses(names ...string) Option {
+	return func(c *pipelineConfig) { c.defenses = append([]string(nil), names...) }
+}
+
+// WithFraction sets the perturbed fraction the prior-art defense schemes
+// use (defense-specific meaning; default: each scheme's published-ish
+// value, 0.15).
+func WithFraction(f float64) Option {
+	return func(c *pipelineConfig) { c.fraction = f }
 }
 
 // WithMaxAttempts caps the Protect escalation loop (default 6). 1 runs a

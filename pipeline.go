@@ -12,6 +12,7 @@ import (
 	"splitmfg/internal/attack/engine"
 	"splitmfg/internal/cell"
 	"splitmfg/internal/defense/correction"
+	defengine "splitmfg/internal/defense/engine"
 	"splitmfg/internal/defense/randomize"
 	"splitmfg/internal/flow"
 )
@@ -137,12 +138,7 @@ func Attackers() []string { return engine.Names() }
 // flag, so all front-ends validate identically and fail before any heavy
 // work starts.
 func ParseAttackers(s string) ([]string, error) {
-	var names []string
-	for _, part := range strings.Split(s, ",") {
-		if part = strings.TrimSpace(part); part != "" {
-			names = append(names, part)
-		}
-	}
+	names := splitList(s)
 	if len(names) == 0 {
 		return nil, fmt.Errorf("splitmfg: empty attacker list %q", s)
 	}
@@ -150,6 +146,82 @@ func ParseAttackers(s string) ([]string, error) {
 		return nil, err
 	}
 	return names, nil
+}
+
+// Defenses lists the registered defense schemes, sorted by name. Any of
+// them can be selected with WithDefenses as a row of Matrix; the set ships
+// with the paper's proposed "randomize-correction" scheme, the
+// "naive-lifted" baseline, and the prior-art comparison points
+// ("placement-perturbation", the four "sengupta-*" strategies,
+// "pin-swapping", "routing-perturbation", "synergistic",
+// "routing-blockage").
+func Defenses() []string { return defengine.Names() }
+
+// ParseDefenses parses a comma-separated defense-scheme list (e.g.
+// "randomize-correction,pin-swapping"), trimming whitespace around names.
+// It rejects an effectively empty list and any name not in the registry,
+// naming the registry in the error — the shared front door for every CLI
+// -defense flag, so all front-ends validate identically and fail before
+// any heavy work starts.
+func ParseDefenses(s string) ([]string, error) {
+	names := splitList(s)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("splitmfg: empty defense list %q", s)
+	}
+	if _, err := defengine.Resolve(names); err != nil {
+		return nil, err
+	}
+	return names, nil
+}
+
+// splitList splits a comma-separated list, trimming whitespace and
+// dropping empty elements.
+func splitList(s string) []string {
+	var names []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			names = append(names, part)
+		}
+	}
+	return names
+}
+
+// Matrix builds every configured defense (WithDefenses, default the
+// paper's randomize-correction scheme) on the design and runs every
+// configured attacker (WithAttackers) against each of them at each
+// configured split layer — the defense×attacker cross product behind the
+// paper's Tables 4 and 5. Rows are defenses (with PPA overheads against
+// the unprotected baseline), columns are attackers, and each cell averages
+// CCR/OER/HD over the split layers. Defense rows and split layers are
+// evaluated concurrently (WithParallelism) with per-(defense, attacker,
+// layer) derived seeds, so the report is byte-identical at every
+// parallelism level.
+func (p *Pipeline) Matrix(ctx context.Context, d *Design) (*MatrixReport, error) {
+	opt := p.matrixOptions(d)
+	res, err := flow.EvaluateMatrix(ctx, d.nl, p.lib, opt)
+	if err != nil {
+		return nil, err
+	}
+	rep := res.Report(d.name, opt)
+	return &rep, nil
+}
+
+func (p *Pipeline) matrixOptions(d *Design) flow.MatrixOptions {
+	c := p.cfg
+	fc := p.flowConfig(d)
+	return flow.MatrixOptions{
+		Defenses:     c.defenses,
+		Attackers:    c.attackers,
+		SplitLayers:  c.splitLayers,
+		Seed:         c.seed,
+		PatternWords: c.patternWords,
+		Parallelism:  c.parallelism,
+		LiftLayer:    fc.LiftLayer,
+		UtilPercent:  fc.UtilPercent,
+		TargetOER:    c.targetOER,
+		Fraction:     c.fraction,
+		Progress:     c.progress,
+	}
 }
 
 // Attack takes the attacker's perspective on an unprotected design: build

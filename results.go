@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 
 	"splitmfg/internal/defense/correction"
 	"splitmfg/internal/defio"
@@ -37,6 +38,18 @@ type AttackerReport = flow.AttackerReport
 
 // PPAReport is the power/performance/area snapshot inside a ProtectReport.
 type PPAReport = flow.PPAReport
+
+// MatrixReport is the unified, JSON-serializable defense×attacker cross
+// matrix produced by Pipeline.Matrix: rows are defenses (with PPA deltas
+// against the unprotected baseline), columns are attackers, cells are
+// CCR/OER/HD averaged over the split layers.
+type MatrixReport = flow.MatrixReport
+
+// MatrixRowReport is one defense's row inside a MatrixReport.
+type MatrixRowReport = flow.MatrixRowReport
+
+// MatrixCellReport is one (defense, attacker) cell inside a MatrixRowReport.
+type MatrixCellReport = flow.MatrixCellReport
 
 // MarshalReport renders any report type as indented JSON.
 func MarshalReport(v interface{}) ([]byte, error) {
@@ -145,6 +158,33 @@ func (r *ProtectResult) WriteErroneousVerilog(w io.Writer) error {
 // protectedOf wraps a correction-built layout as a scored Layout.
 func protectedOf(name string, ref *netlist.Netlist, p *correction.Protected) *Layout {
 	return &Layout{name: name, d: p.Design, ref: ref, onlyPins: p.ProtectedSinks()}
+}
+
+// RenderMatrix renders a MatrixReport as a fixed-width text table: one row
+// per defense with its PPA overheads, one CCR/OER/HD column group per
+// attacker. Metrics-only attackers (no assignment to score) render as "-".
+func RenderMatrix(rep *MatrixReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "defense x attacker matrix: %s (split layers %v, seed %d)\n",
+		rep.Design, rep.SplitLayers, rep.Seed)
+	fmt.Fprintf(&b, "%-24s %24s", "defense", "overhead area/pwr/dly %")
+	for _, a := range rep.Attackers {
+		fmt.Fprintf(&b, " | %-22s", a+" CCR/OER/HD %")
+	}
+	b.WriteString("\n")
+	for _, row := range rep.Rows {
+		fmt.Fprintf(&b, "%-24s %8.1f /%6.1f /%6.1f", row.Defense,
+			row.AreaOHPct, row.PowerOHPct, row.DelayOHPct)
+		for _, c := range row.Cells {
+			if !c.Scored {
+				fmt.Fprintf(&b, " | %-22s", "metrics-only")
+				continue
+			}
+			fmt.Fprintf(&b, " | %6.1f /%6.1f /%6.1f", c.CCRPercent, c.OERPercent, c.HDPercent)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
 }
 
 // Headline renders the headline numbers of a report for quick printing.
