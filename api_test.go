@@ -302,6 +302,58 @@ func TestMultiAttackerReportSections(t *testing.T) {
 
 // TestDefenseCatalog: the defense registry covers all eight scheme
 // families the paper compares.
+// TestSuiteThreeBenchmarksThreeReplicates is the acceptance shape for the
+// suite subsystem: three ISCAS benchmarks under WithReplicates(3) must
+// produce a byte-identical aggregated report serial vs parallel, and the
+// suite cache must demonstrably avoid recomputing each benchmark's
+// unprotected baseline (asserted via the report's hit/miss counters).
+func TestSuiteThreeBenchmarksThreeReplicates(t *testing.T) {
+	names := []string{"c432", "c880", "c1355"}
+	var designs []*Design
+	for _, name := range names {
+		d, err := LoadBenchmark(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		designs = append(designs, d)
+	}
+	opts := fastOptions(
+		WithReplicates(3),
+		WithDefenses("pin-swapping"),
+		WithAttackers("random"),
+		WithPatternWords(8),
+	)
+	ctx := context.Background()
+	parallel, err := New(opts...).Suite(ctx, designs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := New(append(opts, WithParallelism(1))...).Suite(ctx, designs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := MarshalReport(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := MarshalReport(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pb, sb) {
+		t.Fatalf("serial and parallel suite reports differ:\n%s\n----\n%s", pb, sb)
+	}
+	if parallel.Replicates != 3 || len(parallel.PerBenchmark) != len(names) {
+		t.Fatalf("suite shape: replicates %d, %d benchmarks", parallel.Replicates, len(parallel.PerBenchmark))
+	}
+	// 3 benchmarks × 1 defense × 3 replicates: every cell re-requests its
+	// benchmark's baseline and must hit; only the 3 baseline builds and
+	// the 9 distinct cells miss.
+	if parallel.Cache.Misses != 12 || parallel.Cache.Hits != 9 {
+		t.Fatalf("cache counters = %+v, want 12 misses / 9 hits (baseline built once per benchmark)", parallel.Cache)
+	}
+}
+
 func TestDefenseCatalog(t *testing.T) {
 	names := Defenses()
 	if len(names) < 8 {

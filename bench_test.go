@@ -188,8 +188,12 @@ func BenchmarkAblationAttackHints(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		proximity.Attack(context.Background(), d, sv, proximity.DefaultOptions())
-		proximity.Attack(context.Background(), d, sv, proximity.Options{Candidates: 24}) // distance only
+		if _, err := proximity.Attack(context.Background(), d, sv, proximity.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := proximity.Attack(context.Background(), d, sv, proximity.Options{Candidates: 24}); err != nil { // distance only
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -15,38 +15,57 @@
 //
 //	smbench -matrix -subset c432,c880 -defense randomize-correction,pin-swapping -attacker proximity,random
 //	smbench -list-defenses
+//
+// With -suite it runs the multi-benchmark, multi-seed suite behind the
+// paper's Tables 4/5 aggregates: every benchmark of the subset (default:
+// the full ISCAS-85 + superblue catalog) × every -defense × every
+// -attacker × -replicates derived seeds, scheduled through one shared
+// worker pool with a result cache so each benchmark's unprotected
+// baseline is built exactly once:
+//
+//	smbench -suite -subset c432,c880,c1908 -replicates 3
+//
+// Ctrl-C cancels -matrix and -suite runs promptly; output for a benchmark
+// is only written once its evaluation completed, so an interrupted run
+// never leaves a partially rendered table.
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 
 	"splitmfg"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "smbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("smbench", flag.ContinueOnError)
 	exp := fs.String("exp", "all", "experiment id (table1..table6, fig4, fig5, fig6, ppa, ablation, all)")
 	scale := fs.Int("scale", 300, "superblue scale divisor (1 = full size)")
 	seed := fs.Int64("seed", 1, "master seed")
 	words := fs.Int("patterns", 256, "64-pattern words for OER/HD (256 = 16384 patterns)")
-	subset := fs.String("subset", "", "comma-separated ISCAS subset (default: all nine)")
+	subset := fs.String("subset", "", "comma-separated benchmark subset (default: all)")
 	fig4Design := fs.String("fig4design", "superblue18", "design for fig4/fig5 series")
 	defenses := fs.String("defense", "randomize-correction,naive-lifted,pin-swapping",
-		"comma-separated defense schemes for -matrix")
-	attackers := fs.String("attacker", "proximity", "comma-separated attacker engines for -matrix")
+		"comma-separated defense schemes for -matrix / -suite")
+	attackers := fs.String("attacker", "proximity", "comma-separated attacker engines for -matrix / -suite")
 	matrix := fs.Bool("matrix", false, "run the defense x attacker cross matrix on the subset instead of an experiment")
+	suite := fs.Bool("suite", false, "run the multi-benchmark multi-seed suite on the subset instead of an experiment")
+	replicates := fs.Int("replicates", 3, "seed replicates per suite cell (-suite only)")
 	listDefenses := fs.Bool("list-defenses", false, "list the registered defense schemes and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,8 +77,21 @@ func run(args []string, stdout io.Writer) error {
 		}
 		return nil
 	}
+	if *matrix && *suite {
+		return fmt.Errorf("-matrix and -suite are mutually exclusive")
+	}
+	// Reject rather than silently no-op: -replicates only means something
+	// to the suite scheduler (mirrors smflow's -replicates guard).
+	replicatesSet := false
+	fs.Visit(func(f *flag.Flag) { replicatesSet = replicatesSet || f.Name == "replicates" })
+	if replicatesSet && !*suite {
+		return fmt.Errorf("-replicates only applies to -suite runs")
+	}
 	if *matrix {
-		return runMatrix(stdout, *subset, *defenses, *attackers, *seed, *words, *scale)
+		return runMatrix(ctx, stdout, *subset, *defenses, *attackers, *seed, *words, *scale)
+	}
+	if *suite {
+		return runSuite(ctx, stdout, *subset, *defenses, *attackers, *seed, *words, *scale, *replicates)
 	}
 
 	cfg := splitmfg.ExperimentConfig{
@@ -138,9 +170,30 @@ func run(args []string, stdout io.Writer) error {
 	return nil
 }
 
+// subsetDesigns loads the comma-separated subset (or the given defaults)
+// from the catalog.
+func subsetDesigns(subset string, defaults []string, scale int) ([]*splitmfg.Design, error) {
+	names := defaults
+	if subset != "" {
+		names = strings.Split(subset, ",")
+	}
+	designs := make([]*splitmfg.Design, 0, len(names))
+	for _, name := range names {
+		d, err := splitmfg.LoadBenchmark(strings.TrimSpace(name), splitmfg.WithScale(scale))
+		if err != nil {
+			return nil, err
+		}
+		designs = append(designs, d)
+	}
+	return designs, nil
+}
+
 // runMatrix renders the defense×attacker cross matrix for every benchmark
-// in the comma-separated subset (default c432).
-func runMatrix(stdout io.Writer, subset, defenses, attackers string, seed int64, words, scale int) error {
+// in the comma-separated subset (default c432). The context cancels the
+// evaluation between and within benchmarks; each benchmark's table is
+// buffered and only written once its evaluation completed, so Ctrl-C
+// never leaves a partially rendered table.
+func runMatrix(ctx context.Context, stdout io.Writer, subset, defenses, attackers string, seed int64, words, scale int) error {
 	schemes, err := splitmfg.ParseDefenses(defenses)
 	if err != nil {
 		return err
@@ -149,9 +202,9 @@ func runMatrix(stdout io.Writer, subset, defenses, attackers string, seed int64,
 	if err != nil {
 		return err
 	}
-	names := []string{"c432"}
-	if subset != "" {
-		names = strings.Split(subset, ",")
+	designs, err := subsetDesigns(subset, []string{"c432"}, scale)
+	if err != nil {
+		return err
 	}
 	pipe := splitmfg.New(
 		splitmfg.WithSeed(seed),
@@ -159,17 +212,52 @@ func runMatrix(stdout io.Writer, subset, defenses, attackers string, seed int64,
 		splitmfg.WithDefenses(schemes...),
 		splitmfg.WithAttackers(engines...),
 	)
-	for _, name := range names {
-		design, err := splitmfg.LoadBenchmark(strings.TrimSpace(name), splitmfg.WithScale(scale))
+	for _, design := range designs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		rep, err := pipe.Matrix(ctx, design)
 		if err != nil {
 			return err
 		}
-		rep, err := pipe.Matrix(context.Background(), design)
-		if err != nil {
+		var buf bytes.Buffer
+		fmt.Fprint(&buf, splitmfg.RenderMatrix(rep))
+		fmt.Fprintln(&buf)
+		if _, err := stdout.Write(buf.Bytes()); err != nil {
 			return err
 		}
-		fmt.Fprint(stdout, splitmfg.RenderMatrix(rep))
-		fmt.Fprintln(stdout)
 	}
 	return nil
+}
+
+// runSuite evaluates the multi-benchmark, multi-seed suite over the subset
+// (default: the full catalog — slow at full pattern depth; narrow with
+// -subset) and renders the aggregated Tables 4/5-style report. Output is
+// buffered until the whole suite completed, so cancellation leaves none.
+func runSuite(ctx context.Context, stdout io.Writer, subset, defenses, attackers string, seed int64, words, scale, replicates int) error {
+	schemes, err := splitmfg.ParseDefenses(defenses)
+	if err != nil {
+		return err
+	}
+	engines, err := splitmfg.ParseAttackers(attackers)
+	if err != nil {
+		return err
+	}
+	designs, err := subsetDesigns(subset, splitmfg.Benchmarks(), scale)
+	if err != nil {
+		return err
+	}
+	pipe := splitmfg.New(
+		splitmfg.WithSeed(seed),
+		splitmfg.WithPatternWords(words),
+		splitmfg.WithDefenses(schemes...),
+		splitmfg.WithAttackers(engines...),
+		splitmfg.WithReplicates(replicates),
+	)
+	rep, err := pipe.Suite(ctx, designs)
+	if err != nil {
+		return err
+	}
+	_, err = io.WriteString(stdout, splitmfg.RenderSuite(rep))
+	return err
 }

@@ -1,13 +1,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
 
 func TestRunFig4CSV(t *testing.T) {
 	var out strings.Builder
-	err := run([]string{"-exp", "fig4", "-scale", "2000", "-patterns", "8"}, &out)
+	err := run(context.Background(), []string{"-exp", "fig4", "-scale", "2000", "-patterns", "8"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,7 +26,7 @@ func TestRunFig4CSV(t *testing.T) {
 
 func TestRunMatrix(t *testing.T) {
 	var out strings.Builder
-	err := run([]string{"-matrix", "-subset", "c432", "-patterns", "16",
+	err := run(context.Background(), []string{"-matrix", "-subset", "c432", "-patterns", "16",
 		"-defense", "pin-swapping", "-attacker", "random"}, &out)
 	if err != nil {
 		t.Fatal(err)
@@ -35,9 +37,75 @@ func TestRunMatrix(t *testing.T) {
 	}
 }
 
+func TestRunMatrixCancelled(t *testing.T) {
+	// An interrupt-cancelled context must stop the matrix run promptly
+	// and must not leave partial table output behind.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out strings.Builder
+	err := run(ctx, []string{"-matrix", "-subset", "c432,c880", "-patterns", "16",
+		"-defense", "pin-swapping", "-attacker", "random"}, &out)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled -matrix returned %v, want context.Canceled", err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("cancelled -matrix left partial output:\n%s", out.String())
+	}
+}
+
+func TestRunSuite(t *testing.T) {
+	var out strings.Builder
+	err := run(context.Background(), []string{"-suite", "-subset", "c432,c880", "-patterns", "16",
+		"-replicates", "2", "-defense", "pin-swapping", "-attacker", "random"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"suite: 2 benchmarks", "2 replicate(s)",
+		"== aggregate: mean ± std across benchmarks ==",
+		"== c432:", "== c880:", "pin-swapping", "cache:",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("suite output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunSuiteCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out strings.Builder
+	err := run(ctx, []string{"-suite", "-subset", "c432", "-patterns", "16",
+		"-defense", "pin-swapping", "-attacker", "random"}, &out)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled -suite returned %v, want context.Canceled", err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("cancelled -suite left partial output:\n%s", out.String())
+	}
+}
+
+func TestRunMatrixSuiteExclusive(t *testing.T) {
+	var out strings.Builder
+	err := run(context.Background(), []string{"-matrix", "-suite"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("got %v, want mutually-exclusive error", err)
+	}
+}
+
+func TestRunReplicatesRequiresSuite(t *testing.T) {
+	// Reject, don't silently run a single-seed matrix.
+	var out strings.Builder
+	err := run(context.Background(), []string{"-matrix", "-replicates", "5"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-replicates") {
+		t.Fatalf("got %v, want -replicates usage error", err)
+	}
+}
+
 func TestRunListDefenses(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-list-defenses"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-list-defenses"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "randomize-correction") {
@@ -47,7 +115,7 @@ func TestRunListDefenses(t *testing.T) {
 
 func TestRunMatrixUnknownDefense(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-matrix", "-defense", "bogus"}, &out); err == nil ||
+	if err := run(context.Background(), []string{"-matrix", "-defense", "bogus"}, &out); err == nil ||
 		!strings.Contains(err.Error(), "bogus") {
 		t.Fatalf("unknown defense not rejected: %v", err)
 	}
@@ -55,7 +123,7 @@ func TestRunMatrixUnknownDefense(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var out strings.Builder
-	err := run([]string{"-exp", "table99"}, &out)
+	err := run(context.Background(), []string{"-exp", "table99"}, &out)
 	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
 		t.Fatalf("got %v, want unknown-experiment error", err)
 	}

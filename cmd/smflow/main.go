@@ -15,6 +15,12 @@
 //
 //	smflow -bench c432 -matrix -defense randomize-correction,naive-lifted,pin-swapping -attacker proximity,greedy,random
 //	smflow -list-defenses
+//
+// With -replicates n (n > 1) the matrix runs as a one-benchmark suite:
+// every (defense, attacker) cell is evaluated under n derived seed
+// streams and reported as mean ± standard deviation.
+//
+//	smflow -bench c880 -matrix -replicates 3
 package main
 
 import (
@@ -23,18 +29,21 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 
 	"splitmfg"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "smflow:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("smflow", flag.ContinueOnError)
 	name := fs.String("bench", "c432", "benchmark (c432..c7552 or superblue1/5/10/12/18)")
 	lift := fs.Int("lift", 0, "lift layer (default: 6 for ISCAS, 8 for superblue)")
@@ -46,6 +55,7 @@ func run(args []string, stdout io.Writer) error {
 	defenses := fs.String("defense", "randomize-correction,naive-lifted,pin-swapping",
 		"comma-separated defense schemes for -matrix")
 	matrix := fs.Bool("matrix", false, "run the defense x attacker cross-matrix evaluation instead of the protect flow")
+	replicates := fs.Int("replicates", 1, "seed replicates for -matrix (>1 reports mean ± std via the suite scheduler)")
 	listDefenses := fs.Bool("list-defenses", false, "list the registered defense schemes and exit")
 	words := fs.Int("patterns", 0, "64-pattern words for OER/HD (default 256)")
 	attempts := fs.Int("attempts", 0, "escalation attempts (default 6; 1 = no escalation)")
@@ -85,16 +95,37 @@ func run(args []string, stdout io.Writer) error {
 		splitmfg.WithDefenses(schemes...),
 		splitmfg.WithPatternWords(*words),
 		splitmfg.WithMaxAttempts(*attempts),
+		splitmfg.WithReplicates(*replicates),
 	}
 	if *progress {
 		opts = append(opts, splitmfg.WithProgress(splitmfg.ProgressLogger(os.Stderr)))
 	}
 	pipe := splitmfg.New(opts...)
 
-	ctx := context.Background()
+	if *replicates > 1 && !*matrix {
+		return fmt.Errorf("-replicates only applies to -matrix runs")
+	}
 	if *matrix {
 		if *out != "" || *vout != "" {
 			return fmt.Errorf("-matrix evaluates many layouts and exports none: drop -out/-verilog")
+		}
+		if *replicates > 1 {
+			// Multi-seed: the one-benchmark suite reports mean ± std over
+			// the replicates' derived seed streams.
+			rep, err := pipe.Suite(ctx, []*splitmfg.Design{design})
+			if err != nil {
+				return err
+			}
+			if *jsonOut {
+				b, err := splitmfg.MarshalReport(rep)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintln(stdout, string(b))
+				return nil
+			}
+			fmt.Fprint(stdout, splitmfg.RenderSuite(rep))
+			return nil
 		}
 		rep, err := pipe.Matrix(ctx, design)
 		if err != nil {

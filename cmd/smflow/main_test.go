@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"path/filepath"
 	"strings"
@@ -9,7 +10,7 @@ import (
 
 func TestRunJSONReports(t *testing.T) {
 	var out strings.Builder
-	err := run([]string{"-bench", "c432", "-attempts", "1", "-patterns", "16", "-json"}, &out)
+	err := run(context.Background(), []string{"-bench", "c432", "-attempts", "1", "-patterns", "16", "-json"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +38,7 @@ func TestRunJSONReports(t *testing.T) {
 func TestRunDEFExport(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "c432.def")
 	var buf strings.Builder
-	err := run([]string{"-bench", "c432", "-attempts", "1", "-patterns", "16",
+	err := run(context.Background(), []string{"-bench", "c432", "-attempts", "1", "-patterns", "16",
 		"-attacker", "random", "-out", out}, &buf)
 	if err != nil {
 		t.Fatal(err)
@@ -52,7 +53,7 @@ func TestRunDEFExport(t *testing.T) {
 
 func TestRunListDefenses(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-list-defenses"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-list-defenses"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"randomize-correction", "naive-lifted", "pin-swapping", "sengupta-gcolor"} {
@@ -64,7 +65,7 @@ func TestRunListDefenses(t *testing.T) {
 
 func TestRunMatrixJSON(t *testing.T) {
 	var out strings.Builder
-	err := run([]string{"-bench", "c432", "-matrix", "-patterns", "16", "-json",
+	err := run(context.Background(), []string{"-bench", "c432", "-matrix", "-patterns", "16", "-json",
 		"-defense", "pin-swapping,sengupta-gcolor", "-attacker", "random"}, &out)
 	if err != nil {
 		t.Fatal(err)
@@ -89,7 +90,7 @@ func TestRunMatrixJSON(t *testing.T) {
 
 func TestRunMatrixTable(t *testing.T) {
 	var out strings.Builder
-	err := run([]string{"-bench", "c432", "-matrix", "-patterns", "16",
+	err := run(context.Background(), []string{"-bench", "c432", "-matrix", "-patterns", "16",
 		"-defense", "pin-swapping", "-attacker", "random"}, &out)
 	if err != nil {
 		t.Fatal(err)
@@ -97,6 +98,28 @@ func TestRunMatrixTable(t *testing.T) {
 	if !strings.Contains(out.String(), "defense x attacker matrix") ||
 		!strings.Contains(out.String(), "pin-swapping") {
 		t.Fatalf("matrix table missing:\n%s", out.String())
+	}
+}
+
+func TestRunMatrixReplicatesSuite(t *testing.T) {
+	var out strings.Builder
+	err := run(context.Background(), []string{"-bench", "c432", "-matrix", "-patterns", "16",
+		"-replicates", "2", "-defense", "pin-swapping", "-attacker", "random"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "suite: 1 benchmarks") || !strings.Contains(s, "2 replicate(s)") ||
+		!strings.Contains(s, "pin-swapping") {
+		t.Fatalf("replicated matrix output missing suite sections:\n%s", s)
+	}
+}
+
+func TestRunReplicatesRequiresMatrix(t *testing.T) {
+	var out strings.Builder
+	if err := run(context.Background(), []string{"-bench", "c432", "-replicates", "2"}, &out); err == nil ||
+		!strings.Contains(err.Error(), "-replicates") {
+		t.Fatalf("got %v, want -replicates usage error", err)
 	}
 }
 
@@ -110,7 +133,7 @@ func TestRunErrors(t *testing.T) {
 		{"-matrix", "-out", "x.def"}, // matrix exports no layout: reject, don't silently no-op
 	} {
 		var buf strings.Builder
-		if err := run(args, &buf); err == nil {
+		if err := run(context.Background(), args, &buf); err == nil {
 			t.Fatalf("run(%v) succeeded, want error", args)
 		}
 	}

@@ -3,7 +3,6 @@ package splitmfg
 import (
 	"fmt"
 	"sort"
-	"strings"
 
 	"splitmfg/internal/bench"
 	"splitmfg/internal/netlist"
@@ -17,6 +16,7 @@ type Design struct {
 	name      string
 	nl        *netlist.Netlist
 	superblue bool
+	scale     int // superblue scale divisor the netlist was generated at (1 for ISCAS)
 
 	recLift   int     // recommended lift layer (6 ISCAS, 8 superblue)
 	recBudget float64 // recommended PPA budget percent (20 ISCAS, 5 superblue)
@@ -66,21 +66,21 @@ func LoadBenchmark(name string, opts ...BenchmarkOption) (*Design, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	d := &Design{name: name}
+	d := &Design{name: name, scale: 1}
 	var err error
-	if strings.HasPrefix(name, "superblue") {
+	if bench.IsSuperblue(name) {
 		d.superblue = true
+		d.scale = cfg.scale
 		d.recLift = 8
 		d.recBudget = 5
-		d.nl, err = bench.Superblue(name, cfg.scale)
-		if err == nil {
-			d.recUtil, err = bench.SuperblueUtil(name)
-		}
+		d.recUtil, err = bench.SuperblueUtil(name)
 	} else {
 		d.recLift = 6
 		d.recBudget = 20
 		d.recUtil = 70
-		d.nl, err = bench.ISCAS85(name)
+	}
+	if err == nil {
+		d.nl, err = bench.Load(name, cfg.scale)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("splitmfg: load %q: %v", name, err)

@@ -83,6 +83,42 @@ func TestGoldenProtectAndSecurityReports(t *testing.T) {
 	goldenCompare(t, "security_c432.json", marshalGolden(t, sec))
 }
 
+func TestGoldenSuiteReport(t *testing.T) {
+	// Two benchmarks × two defenses × two attackers × two seed replicates:
+	// the whole suite path — scheduler, cache, replicate seed derivation,
+	// mean ± std aggregation, serialization — pinned byte for byte.
+	var designs []*Design
+	for _, name := range []string{"c432", "c880"} {
+		d, err := LoadBenchmark(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		designs = append(designs, d)
+	}
+	opts := []Option{
+		WithDefenses("randomize-correction", "pin-swapping"),
+		WithAttackers("proximity", "random"),
+		WithReplicates(2),
+	}
+	ctx := context.Background()
+	rep, err := goldenPipeline(opts...).Suite(ctx, designs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := marshalGolden(t, rep)
+	goldenCompare(t, "suite_small.json", got)
+
+	// The golden bytes must not depend on the worker pool: a serial run
+	// must serialize identically, cache counters included.
+	serial, err := goldenPipeline(append(opts, WithParallelism(1))...).Suite(ctx, designs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, marshalGolden(t, serial)) {
+		t.Fatal("serial suite run does not match the parallel golden bytes")
+	}
+}
+
 func TestGoldenMatrixReport(t *testing.T) {
 	design, err := LoadBenchmark("c432")
 	if err != nil {

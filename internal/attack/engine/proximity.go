@@ -16,8 +16,8 @@ type proximityEngine struct{}
 func (proximityEngine) Name() string { return "proximity" }
 
 func (proximityEngine) Attack(ctx context.Context, d *layout.Design, sv *layout.SplitView, opt Options) (Result, error) {
-	res := proximity.Attack(ctx, d, sv, proximity.DefaultOptions())
-	if err := ctx.Err(); err != nil {
+	res, err := proximity.Attack(ctx, d, sv, proximity.DefaultOptions())
+	if err != nil {
 		return Result{}, err
 	}
 	return Result{

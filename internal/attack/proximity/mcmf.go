@@ -1,6 +1,29 @@
 package proximity
 
-import "splitmfg/internal/heapx"
+import (
+	"context"
+	"fmt"
+
+	"splitmfg/internal/heapx"
+)
+
+// MaxEdgeCapacity is the largest capacity a single MCMF edge may carry.
+// The bottleneck search in run starts its scan at this value, so a larger
+// capacity could never be pushed anyway — and int32(x) for x beyond
+// MaxInt32 would wrap silently. Graph construction validates against it.
+const MaxEdgeCapacity = 1 << 30
+
+// CapacityError reports an edge capacity outside [0, MaxEdgeCapacity]
+// at graph-build time. Full-size superblue fan-out counts can approach
+// the int32 range; failing typed and early beats wrapping silently into
+// a negative capacity the solver would treat as a saturated edge.
+type CapacityError struct {
+	Capacity int
+}
+
+func (e *CapacityError) Error() string {
+	return fmt.Sprintf("proximity: mcmf edge capacity %d outside [0, %d]", e.Capacity, MaxEdgeCapacity)
+}
 
 // mcmf is a small min-cost max-flow solver (successive shortest paths with
 // Johnson potentials) used to solve the attacker's joint assignment of sink
@@ -25,7 +48,8 @@ func newMCMF(n int) *mcmf {
 }
 
 // addEdge inserts a directed edge u->v and its residual twin, returning the
-// forward edge index.
+// forward edge index. Callers with capacities of unvalidated magnitude go
+// through addEdgeInt instead.
 func (g *mcmf) addEdge(u, v int, capacity int32, cost int64) int {
 	id := g.edges
 	g.to = append(g.to, v)
@@ -43,6 +67,16 @@ func (g *mcmf) addEdge(u, v int, capacity int32, cost int64) int {
 	return id
 }
 
+// addEdgeInt validates an int capacity and inserts the edge, returning a
+// *CapacityError for capacities int32 truncation would corrupt (negative
+// after wrap) or the bottleneck scan would never honor (> MaxEdgeCapacity).
+func (g *mcmf) addEdgeInt(u, v int, capacity int, cost int64) (int, error) {
+	if capacity < 0 || capacity > MaxEdgeCapacity {
+		return -1, &CapacityError{Capacity: capacity}
+	}
+	return g.addEdge(u, v, int32(capacity), cost), nil
+}
+
 // mcmfItem is a Dijkstra priority-queue entry: Pri is the reduced-cost
 // distance, Value the node. heapx gives a typed slice heap — no
 // interface{} boxing inside the loop that dominates the flow solve.
@@ -50,13 +84,22 @@ type mcmfItem = heapx.Item[int]
 
 // run pushes flow from s to t until exhaustion, returning total flow and
 // cost. All edge costs must be non-negative.
-func (g *mcmf) run(s, t int) (flow int32, cost int64) {
+//
+// The context is checked once per augmenting-path iteration (one Dijkstra
+// sweep each), so a single large solve — a full-size superblue split can
+// run thousands of iterations — stops promptly on cancellation instead of
+// running to completion; the flow pushed so far and ctx.Err() are
+// returned.
+func (g *mcmf) run(ctx context.Context, s, t int) (flow int32, cost int64, err error) {
 	const inf = int64(1) << 62
 	pot := make([]int64, g.n)
 	dist := make([]int64, g.n)
 	prevEdge := make([]int, g.n)
 	inTree := make([]bool, g.n)
 	for {
+		if err := ctx.Err(); err != nil {
+			return flow, cost, err
+		}
 		for i := range dist {
 			dist[i] = inf
 			inTree[i] = false
@@ -86,7 +129,7 @@ func (g *mcmf) run(s, t int) (flow int32, cost int64) {
 			}
 		}
 		if dist[t] >= inf {
-			return flow, cost
+			return flow, cost, nil
 		}
 		for i := range pot {
 			if dist[i] < inf {

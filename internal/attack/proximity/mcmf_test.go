@@ -1,0 +1,139 @@
+package proximity
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// bigBipartite builds a dense synthetic assignment instance: `side` drivers
+// and `side` sinks with every pairing available at a random cost, so the
+// solve needs `side` augmenting-path iterations to saturate.
+func bigBipartite(side int, seed int64) (g *mcmf, s, t int) {
+	rng := rand.New(rand.NewSource(seed))
+	s, t = 0, 1+2*side
+	g = newMCMF(t + 1)
+	for d := 0; d < side; d++ {
+		g.addEdge(s, 1+d, 1, 0)
+		for k := 0; k < side; k++ {
+			g.addEdge(1+d, 1+side+k, 1, int64(rng.Intn(1000)+1))
+		}
+	}
+	for k := 0; k < side; k++ {
+		g.addEdge(1+side+k, t, 1, 0)
+	}
+	return g, s, t
+}
+
+// errAfterCtx is a context whose Err flips to Canceled after a fixed
+// number of polls — a deterministic stand-in for "the caller cancelled
+// while the solver was deep inside one large solve".
+type errAfterCtx struct {
+	context.Context
+	polls, limit int
+}
+
+func (c *errAfterCtx) Err() error {
+	c.polls++
+	if c.polls > c.limit {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestMCMFCancelledMidSolve(t *testing.T) {
+	// 300 augmenting paths are needed; cancellation is observed on poll 4.
+	// Before ctx was threaded into run, the solver only ever noticed
+	// cancellation after full exhaustion.
+	g, s, tt := bigBipartite(300, 1)
+	ctx := &errAfterCtx{Context: context.Background(), limit: 3}
+	flow, _, err := g.run(ctx, s, tt)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("run err = %v, want context.Canceled", err)
+	}
+	if flow != 3 {
+		t.Fatalf("run pushed %d paths before observing cancellation, want 3", flow)
+	}
+}
+
+func TestMCMFCancelledUpFrontReturnsImmediately(t *testing.T) {
+	g, s, tt := bigBipartite(400, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	flow, _, err := g.run(ctx, s, tt)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("run err = %v, want context.Canceled", err)
+	}
+	if flow != 0 {
+		t.Fatalf("pre-cancelled run pushed flow %d, want 0", flow)
+	}
+	// Generous bound: a full 400-path dense solve takes orders of
+	// magnitude longer than one ctx check.
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("pre-cancelled run took %v", elapsed)
+	}
+}
+
+func TestMCMFRunMatchesUncancelled(t *testing.T) {
+	// Threading the context must not change the solve itself.
+	ga, s, tt := bigBipartite(60, 3)
+	gb, _, _ := bigBipartite(60, 3)
+	fa, ca, err := ga.run(context.Background(), s, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, cb, err := gb.run(&errAfterCtx{Context: context.Background(), limit: 1 << 30}, s, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa != fb || ca != cb {
+		t.Fatalf("ctx-aware run diverged: flow %d/%d cost %d/%d", fa, fb, ca, cb)
+	}
+	if fa != 60 {
+		t.Fatalf("dense bipartite instance should saturate: flow %d, want 60", fa)
+	}
+}
+
+func TestAddEdgeIntRejectsOverflow(t *testing.T) {
+	g := newMCMF(2)
+	var capErr *CapacityError
+	if _, err := g.addEdgeInt(0, 1, MaxEdgeCapacity+1, 0); !errors.As(err, &capErr) {
+		t.Fatalf("capacity %d: err = %v, want *CapacityError", MaxEdgeCapacity+1, err)
+	}
+	if capErr.Capacity != MaxEdgeCapacity+1 {
+		t.Fatalf("CapacityError.Capacity = %d, want %d", capErr.Capacity, MaxEdgeCapacity+1)
+	}
+	if _, err := g.addEdgeInt(0, 1, -1, 0); !errors.As(err, &capErr) {
+		t.Fatalf("negative capacity: err = %v, want *CapacityError", err)
+	}
+	// int32 wrap-around magnitude — the silent-corruption case the guard
+	// exists for: int32(1<<31) is negative.
+	if _, err := g.addEdgeInt(0, 1, 1<<31, 0); !errors.As(err, &capErr) {
+		t.Fatalf("capacity 1<<31: err = %v, want *CapacityError", err)
+	}
+}
+
+func TestAddEdgeIntAcceptsFullRange(t *testing.T) {
+	g := newMCMF(2)
+	for _, c := range []int{0, 1, MaxEdgeCapacity} {
+		id, err := g.addEdgeInt(0, 1, c, 7)
+		if err != nil {
+			t.Fatalf("capacity %d rejected: %v", c, err)
+		}
+		if got := g.cap[id]; got != int32(c) {
+			t.Fatalf("capacity %d stored as %d", c, got)
+		}
+	}
+}
+
+func TestAttackCancellationSurfacesError(t *testing.T) {
+	d, sv := buildSplit(t, "c880", 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Attack(ctx, d, sv, DefaultOptions()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Attack err = %v, want context.Canceled", err)
+	}
+}

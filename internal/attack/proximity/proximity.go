@@ -64,10 +64,12 @@ type Result struct {
 
 // Attack recovers an assignment of sink fragments to driver fragments for
 // the given split view. ref-free: only FEOL-visible information is used.
-// The context is checked between per-sink candidate constructions and
-// before the flow solve; on cancellation the (partial) result so far is
-// returned and the caller observes ctx.Err().
-func Attack(ctx context.Context, d *layout.Design, sv *layout.SplitView, opt Options) Result {
+// The context is checked between per-sink candidate constructions and once
+// per augmenting-path iteration inside the flow solve; on cancellation the
+// (partial) result so far is returned alongside ctx.Err(). A non-nil error
+// is also returned when a driver's load capacity would overflow the
+// solver's int32 edge capacities (*CapacityError).
+func Attack(ctx context.Context, d *layout.Design, sv *layout.SplitView, opt Options) (Result, error) {
 	if opt.Candidates == 0 {
 		opt.Candidates = 24
 	}
@@ -83,7 +85,7 @@ func Attack(ctx context.Context, d *layout.Design, sv *layout.SplitView, opt Opt
 	sinks := sv.SinkFrags()
 	res := Result{Assignment: metrics.Assignment{}}
 	if len(drivers) == 0 || len(sinks) == 0 {
-		return res
+		return res, nil
 	}
 
 	type dinfo struct {
@@ -100,7 +102,9 @@ func Attack(ctx context.Context, d *layout.Design, sv *layout.SplitView, opt Opt
 		// centroid): the missing BEOL piece of a net is short, so the open
 		// via locations of true partners sit close together — the sharpest
 		// published proximity signal.
-		di := dinfo{fid: fid, pt: sv.FragCenter(d, fid), gate: -1, capRem: 1 << 30}
+		// The no-limit sentinel is the solver's capacity ceiling, so the
+		// load-unaware path stays in validated int32 range by construction.
+		di := dinfo{fid: fid, pt: sv.FragCenter(d, fid), gate: -1, capRem: MaxEdgeCapacity}
 		for _, p := range f.Pins {
 			if p.Role == layout.RoleDriver {
 				di.gate = p.Gate
@@ -155,8 +159,8 @@ func Attack(ctx context.Context, d *layout.Design, sv *layout.SplitView, opt Opt
 	}
 	var all []cand
 	for _, sfid := range sinks {
-		if ctx.Err() != nil {
-			return res
+		if err := ctx.Err(); err != nil {
+			return res, err
 		}
 		spt := sv.FragCenter(d, sfid)
 		sdirs := fragDirs(sv, sfid)
@@ -209,11 +213,16 @@ func Attack(ctx context.Context, d *layout.Design, sv *layout.SplitView, opt Opt
 	T := 1 + len(dinfos) + len(sinks)
 	g := newMCMF(T + 1)
 	for di := range dinfos {
-		capSlots := int32(dinfos[di].capRem)
+		capSlots := dinfos[di].capRem
 		if !opt.LoadAware {
-			capSlots = int32(len(sinks))
+			capSlots = len(sinks)
 		}
-		g.addEdge(S, 1+di, capSlots, 0)
+		// Validated insertion: a fan-out count beyond the solver's int32
+		// range fails typed here instead of wrapping into a negative
+		// capacity the flow would silently treat as saturated.
+		if _, err := g.addEdgeInt(S, 1+di, capSlots, 0); err != nil {
+			return res, err
+		}
 	}
 	type edgeRef struct {
 		id   int
@@ -236,10 +245,9 @@ func Attack(ctx context.Context, d *layout.Design, sv *layout.SplitView, opt Opt
 	for i := range sinks {
 		g.addEdge(1+len(dinfos)+i, T, 1, 0)
 	}
-	if ctx.Err() != nil {
-		return res
+	if _, _, err := g.run(ctx, S, T); err != nil {
+		return res, err
 	}
-	g.run(S, T)
 
 	// Extract the flow assignment, then enforce dynamic loop-freedom in
 	// cost order: cheap (confident) assignments commit first; any
@@ -284,7 +292,7 @@ func Attack(ctx context.Context, d *layout.Design, sv *layout.SplitView, opt Opt
 			commit(er.sink, er.didx)
 		}
 	}
-	return res
+	return res, nil
 }
 
 // fragDirs returns the dangling directions of a fragment's vpins.

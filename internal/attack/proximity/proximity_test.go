@@ -40,6 +40,17 @@ func buildSplit(t testing.TB, name string, splitLayer int) (*layout.Design, *lay
 	return d, sv
 }
 
+// mustAttack runs the attack and fails the test on any error — the
+// uncancelled-context test call sites expect a complete run.
+func mustAttack(t testing.TB, d *layout.Design, sv *layout.SplitView, opt Options) Result {
+	t.Helper()
+	res, err := Attack(context.Background(), d, sv, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
 func TestAttackOriginalLayoutHighCCR(t *testing.T) {
 	// On an unprotected layout the proximity attack must recover far more
 	// than chance. The paper reports ~94% CCR with commercial layouts; our
@@ -48,7 +59,7 @@ func TestAttackOriginalLayoutHighCCR(t *testing.T) {
 	// a strong relative result: an order of magnitude above the random
 	// baseline of 1/#drivers, and at least half of c1908's fragments.
 	d, sv := buildSplit(t, "c1908", 3)
-	res := Attack(context.Background(), d, sv, DefaultOptions())
+	res := mustAttack(t, d, sv, DefaultOptions())
 	ccr := metrics.CCR(d, sv, d.Netlist, res.Assignment)
 	if ccr.Protected == 0 {
 		t.Fatal("nothing to attack")
@@ -65,7 +76,7 @@ func TestAttackOriginalLayoutHighCCR(t *testing.T) {
 
 func TestAttackCompleteAssignment(t *testing.T) {
 	d, sv := buildSplit(t, "c432", 3)
-	res := Attack(context.Background(), d, sv, DefaultOptions())
+	res := mustAttack(t, d, sv, DefaultOptions())
 	for _, sf := range sv.SinkFrags() {
 		if _, ok := res.Assignment[sf]; !ok {
 			t.Fatalf("sink fragment %d left unassigned", sf)
@@ -75,7 +86,7 @@ func TestAttackCompleteAssignment(t *testing.T) {
 
 func TestAttackRecoveredNetlistLowHD(t *testing.T) {
 	d, sv := buildSplit(t, "c432", 3)
-	res := Attack(context.Background(), d, sv, DefaultOptions())
+	res := mustAttack(t, d, sv, DefaultOptions())
 	rec := metrics.RecoverNetlist(d, sv, res.Assignment)
 	if err := rec.Validate(); err != nil {
 		t.Fatal(err)
@@ -96,7 +107,7 @@ func TestAttackRecoveredNetlistLowHD(t *testing.T) {
 
 func TestAttackNoLoops(t *testing.T) {
 	d, sv := buildSplit(t, "c880", 4)
-	res := Attack(context.Background(), d, sv, DefaultOptions())
+	res := mustAttack(t, d, sv, DefaultOptions())
 	rec := metrics.RecoverNetlist(d, sv, res.Assignment)
 	if rec.HasCombLoop() {
 		t.Fatal("loop-aware attack produced a combinational loop")
@@ -105,8 +116,8 @@ func TestAttackNoLoops(t *testing.T) {
 
 func TestHintAblationDistanceOnlyWeaker(t *testing.T) {
 	d, sv := buildSplit(t, "c1908", 3)
-	full := Attack(context.Background(), d, sv, DefaultOptions())
-	bare := Attack(context.Background(), d, sv, Options{Candidates: 24}) // distance only
+	full := mustAttack(t, d, sv, DefaultOptions())
+	bare := mustAttack(t, d, sv, Options{Candidates: 24}) // distance only
 	ccrFull := metrics.CCR(d, sv, d.Netlist, full.Assignment)
 	ccrBare := metrics.CCR(d, sv, d.Netlist, bare.Assignment)
 	// All-hints should be at least as good as distance-only (allow tiny
@@ -119,7 +130,7 @@ func TestHintAblationDistanceOnlyWeaker(t *testing.T) {
 func TestAttackEmptyView(t *testing.T) {
 	d, _ := buildSplit(t, "c432", 3)
 	empty := &layout.SplitView{Layer: 3, ByRoute: map[int][]int{}}
-	res := Attack(context.Background(), d, empty, DefaultOptions())
+	res := mustAttack(t, d, empty, DefaultOptions())
 	if len(res.Assignment) != 0 {
 		t.Fatal("assignment on empty view")
 	}
@@ -127,7 +138,7 @@ func TestAttackEmptyView(t *testing.T) {
 
 func TestCandidateLimitRespected(t *testing.T) {
 	d, sv := buildSplit(t, "c432", 3)
-	res := Attack(context.Background(), d, sv, Options{Candidates: 5})
+	res := mustAttack(t, d, sv, Options{Candidates: 5})
 	nSinks := len(sv.SinkFrags())
 	if nSinks > 0 && res.AvgCands > 5.0 {
 		t.Fatalf("avg candidates %.1f exceeds limit 5", res.AvgCands)
@@ -138,6 +149,6 @@ func BenchmarkAttackC880(b *testing.B) {
 	d, sv := buildSplit(b, "c880", 3)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Attack(context.Background(), d, sv, DefaultOptions())
+		mustAttack(b, d, sv, DefaultOptions())
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 
 	"splitmfg/internal/netlist"
 )
@@ -82,6 +83,22 @@ func ISCASNames() []string {
 // SuperblueNames returns the superblue benchmark names in paper order.
 func SuperblueNames() []string {
 	return []string{"superblue1", "superblue5", "superblue10", "superblue12", "superblue18"}
+}
+
+// IsSuperblue reports whether the catalog name denotes an industrial
+// superblue design (as opposed to an ISCAS-85 circuit).
+func IsSuperblue(name string) bool {
+	return strings.HasPrefix(name, "superblue")
+}
+
+// Load loads any catalog benchmark by name, dispatching between the
+// ISCAS-85 and superblue generators. scale is the superblue scale divisor
+// (>= 1); ISCAS designs ignore it.
+func Load(name string, scale int) (*netlist.Netlist, error) {
+	if IsSuperblue(name) {
+		return Superblue(name, scale)
+	}
+	return ISCAS85(name)
 }
 
 // SuperblueUtil returns the paper's placement utilization for the design.

@@ -51,11 +51,13 @@ const (
 
 // Event is one completed stage transition.
 type Event struct {
-	Stage   Stage
-	Attempt int           // Protect escalation attempt (1-based; 0 for baseline work)
-	Layer   int           // split layer for StageAttack events, else 0
-	Detail  string        // e.g. "baseline", "protected", "vacuous"
-	Elapsed time.Duration // how long the stage took
+	Stage     Stage
+	Attempt   int           // Protect escalation attempt (1-based; 0 for baseline work)
+	Layer     int           // split layer for StageAttack events, else 0
+	Bench     string        // benchmark name for suite-level events, else ""
+	Replicate int           // seed replicate for StageSuiteCell events (0-based), else 0
+	Detail    string        // e.g. "baseline", "protected", "vacuous"
+	Elapsed   time.Duration // how long the stage took
 }
 
 // ProgressFunc receives stage-completion events. It may be called from

@@ -193,6 +193,111 @@ func (m MatrixResult) Report(design string, opt MatrixOptions) MatrixReport {
 	return rep
 }
 
+// DistReport is the JSON shape of a mean ± standard deviation pair.
+type DistReport struct {
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+}
+
+func distReport(d Dist, scale float64) DistReport {
+	return DistReport{Mean: d.Mean * scale, Std: d.Std * scale}
+}
+
+// SuiteCellReport is the JSON shape of one (defense, attacker) suite cell:
+// CCR/OER/HD as mean ± std percentages over the aggregated runs.
+type SuiteCellReport struct {
+	Attacker   string     `json:"attacker"`
+	Scored     bool       `json:"scored"`
+	CCRPercent DistReport `json:"ccr_percent"`
+	OERPercent DistReport `json:"oer_percent"`
+	HDPercent  DistReport `json:"hd_percent"`
+}
+
+// SuiteRowReport is the JSON shape of one defense's aggregated row. It
+// carries no wall-clock fields, so a fixed seed and configuration marshal
+// to byte-identical JSON.
+type SuiteRowReport struct {
+	Defense    string            `json:"defense"`
+	Swaps      DistReport        `json:"swaps"`
+	AreaOHPct  DistReport        `json:"area_overhead_percent"`
+	PowerOHPct DistReport        `json:"power_overhead_percent"`
+	DelayOHPct DistReport        `json:"delay_overhead_percent"`
+	Cells      []SuiteCellReport `json:"cells"`
+}
+
+// SuiteBenchReport is one benchmark's defense rows, aggregated over the
+// suite's seed replicates, plus the shared unprotected baseline's PPA.
+type SuiteBenchReport struct {
+	Benchmark string           `json:"benchmark"`
+	BasePPA   PPAReport        `json:"base_ppa"`
+	Rows      []SuiteRowReport `json:"rows"`
+}
+
+// SuiteReport is the unified, JSON-serializable multi-benchmark,
+// multi-seed matrix: per-benchmark sections (mean ± std over replicates)
+// plus the cross-benchmark aggregate behind the paper's Tables 4/5 bottom
+// lines, and the suite cache's deterministic hit/miss counters.
+type SuiteReport struct {
+	Seed         int64              `json:"seed"`
+	Replicates   int                `json:"replicates"`
+	SplitLayers  []int              `json:"split_layers"`
+	Benchmarks   []string           `json:"benchmarks"`
+	Defenses     []string           `json:"defenses"`
+	Attackers    []string           `json:"attackers"`
+	PerBenchmark []SuiteBenchReport `json:"per_benchmark"`
+	Aggregate    []SuiteRowReport   `json:"aggregate"`
+	Cache        CacheStats         `json:"cache"`
+}
+
+// suiteRowReport converts one aggregated defense row to its JSON shape
+// (security fractions scaled to percentages, overheads already percent).
+func suiteRowReport(row SuiteRow) SuiteRowReport {
+	rep := SuiteRowReport{
+		Defense:    row.Defense,
+		Swaps:      distReport(row.Swaps, 1),
+		AreaOHPct:  distReport(row.AreaOH, 1),
+		PowerOHPct: distReport(row.PowerOH, 1),
+		DelayOHPct: distReport(row.DelayOH, 1),
+	}
+	for _, c := range row.Cells {
+		rep.Cells = append(rep.Cells, SuiteCellReport{
+			Attacker:   c.Attacker,
+			Scored:     c.Scored,
+			CCRPercent: distReport(c.CCR, 100),
+			OERPercent: distReport(c.OER, 100),
+			HDPercent:  distReport(c.HD, 100),
+		})
+	}
+	return rep
+}
+
+// Report converts the suite result to its JSON-serializable form.
+func (s SuiteResult) Report(opt SuiteOptions) SuiteReport {
+	opt = opt.withDefaults()
+	rep := SuiteReport{
+		Seed:        opt.Seed,
+		Replicates:  s.Replicates,
+		SplitLayers: append([]int(nil), opt.SplitLayers...),
+		Defenses:    append([]string(nil), opt.Defenses...),
+		Attackers:   append([]string(nil), opt.Attackers...),
+		Cache:       s.Cache,
+	}
+	for _, b := range opt.Benchmarks {
+		rep.Benchmarks = append(rep.Benchmarks, b.Name)
+	}
+	for _, br := range s.Benches {
+		brep := SuiteBenchReport{Benchmark: br.Bench, BasePPA: ppaReport(br.BasePPA)}
+		for _, row := range br.Rows {
+			brep.Rows = append(brep.Rows, suiteRowReport(row))
+		}
+		rep.PerBenchmark = append(rep.PerBenchmark, brep)
+	}
+	for _, row := range s.Aggregate {
+		rep.Aggregate = append(rep.Aggregate, suiteRowReport(row))
+	}
+	return rep
+}
+
 // attackerReport converts one attacker's averaged outcome to its JSON
 // shape — shared by SecurityReport's per_attacker section and the matrix
 // cells.

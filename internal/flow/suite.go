@@ -1,0 +1,531 @@
+package flow
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	defengine "splitmfg/internal/defense/engine"
+
+	"splitmfg/internal/attack/engine"
+	"splitmfg/internal/cell"
+	"splitmfg/internal/defense/correction"
+	"splitmfg/internal/netlist"
+	"splitmfg/internal/timing"
+)
+
+// Suite-level stages, emitted through the same ProgressFunc stream the
+// rest of the flow uses.
+const (
+	// StageSuiteBaseline is emitted once per benchmark when its shared
+	// unprotected baseline has been built and analyzed (Bench carries the
+	// benchmark name). Replicated or repeated requests reuse the cached
+	// baseline and emit nothing.
+	StageSuiteBaseline Stage = "suite-baseline"
+	// StageSuiteCell is emitted once per completed
+	// (benchmark, defense, replicate) job (Bench, Detail = defense name,
+	// Replicate), whether the cell was computed or served from the cache.
+	StageSuiteCell Stage = "suite-cell"
+)
+
+// SuiteBenchmark is one design entering a suite evaluation, together with
+// the physical-design settings the suite builds it under. Scale identifies
+// the netlist variant in cache keys (the superblue scale divisor; 1 for
+// ISCAS designs, whose generator ignores scale).
+type SuiteBenchmark struct {
+	Name        string
+	Netlist     *netlist.Netlist
+	Scale       int
+	LiftLayer   int
+	UtilPercent int
+}
+
+// cacheKey identifies everything that determines this benchmark's builds:
+// the netlist variant (name + scale), the physical-design settings, and
+// the suite master seed the shared baseline is derived from.
+func (b SuiteBenchmark) cacheKey(seed int64) string {
+	return fmt.Sprintf("%s|scale=%d|lift=%d|util=%d|seed=%d",
+		b.Name, b.Scale, b.LiftLayer, b.UtilPercent, seed)
+}
+
+// SuiteOptions parameterizes EvaluateSuite.
+type SuiteOptions struct {
+	Benchmarks   []SuiteBenchmark // designs to sweep (rows of the paper's Tables 4/5)
+	Defenses     []string         // defense-engine names (default "randomize-correction")
+	Attackers    []string         // attacker-engine names (default "proximity")
+	SplitLayers  []int            // layers each pair is attacked at (default M3,M4,M5)
+	Seed         int64            // master seed; every replicate derives its own stream
+	Replicates   int              // seed replicates per (benchmark, defense) cell (default 1)
+	PatternWords int              // 64-pattern words for OER/HD (default 256)
+	Parallelism  int              // bound on concurrent jobs; 0 = GOMAXPROCS, 1 = serial
+	TargetOER    float64          // randomization stop criterion (default 0.999)
+	Fraction     float64          // perturbed fraction for prior-art defenses
+	Progress     ProgressFunc     // optional suite-level completion events
+}
+
+func (o SuiteOptions) withDefaults() SuiteOptions {
+	if len(o.Defenses) == 0 {
+		o.Defenses = []string{"randomize-correction"}
+	}
+	if len(o.Attackers) == 0 {
+		o.Attackers = []string{"proximity"}
+	}
+	if len(o.SplitLayers) == 0 {
+		o.SplitLayers = []int{3, 4, 5}
+	}
+	if o.Replicates <= 0 {
+		o.Replicates = 1
+	}
+	if o.PatternWords == 0 {
+		o.PatternWords = 256
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// replicateSeed derives the master seed of one seed replicate (splitmix64
+// via the engine seed-derivation chain). Replicate 0 is the master seed
+// itself, so a single-replicate suite cell reproduces the corresponding
+// EvaluateMatrix row byte for byte.
+func replicateSeed(seed int64, rep int) int64 {
+	if rep == 0 {
+		return seed
+	}
+	return engine.DeriveSeed(seed, "suite/replicate/"+strconv.Itoa(rep))
+}
+
+// CacheStats counts suite-cache outcomes. Both counters are deterministic
+// for a given suite configuration — every job issues a fixed set of key
+// requests and misses are exactly the distinct keys — so they are safe to
+// serialize into byte-stable reports.
+type CacheStats struct {
+	Hits   int `json:"hits"`
+	Misses int `json:"misses"`
+}
+
+// cacheEntry is one in-flight or completed computation. ready is closed
+// when val/err are final.
+type cacheEntry struct {
+	ready chan struct{}
+	val   any
+	err   error
+}
+
+// suiteCache is the content-addressed in-memory result cache shared by a
+// whole suite run. Keys encode every input that determines the value
+// (bench/scale/defense/fraction/attackers/split-layers/seed/...), so a
+// lookup can never conflate two different computations. It deduplicates
+// concurrent requests singleflight-style: the first requester computes
+// inline, later requesters for the same key count a hit and block until
+// the value is ready.
+type suiteCache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	stats   CacheStats
+}
+
+func newSuiteCache() *suiteCache {
+	return &suiteCache{entries: map[string]*cacheEntry{}}
+}
+
+func (c *suiteCache) do(key string, compute func() (any, error)) (any, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.stats.Hits++
+		c.mu.Unlock()
+		<-e.ready
+		return e.val, e.err
+	}
+	e := &cacheEntry{ready: make(chan struct{})}
+	c.entries[key] = e
+	c.stats.Misses++
+	c.mu.Unlock()
+	e.val, e.err = compute()
+	close(e.ready)
+	return e.val, e.err
+}
+
+func (c *suiteCache) snapshot() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// stealQueue is the suite's bounded work-stealing scheduler. All jobs are
+// known up front, so it needs no wakeups: each worker owns a deque seeded
+// round-robin (striping spreads the early per-benchmark baseline builds
+// across workers instead of serializing them behind one singleflight), and
+// an idle worker steals from the nearest non-empty sibling when its own
+// deque runs dry. Both own pops and steals take the oldest job: job
+// indices are scheduling priority (baselines precede cells), so draining
+// front-first is what actually starts every benchmark's reference build
+// early instead of leaving the low-index jobs for last.
+type stealQueue struct {
+	mu     sync.Mutex
+	deques [][]int
+}
+
+func newStealQueue(jobs, workers int) *stealQueue {
+	q := &stealQueue{deques: make([][]int, workers)}
+	for j := 0; j < jobs; j++ {
+		w := j % workers
+		q.deques[w] = append(q.deques[w], j)
+	}
+	return q
+}
+
+// next returns the next job index for worker w, or ok=false when every
+// deque is empty (the suite's job set is exhausted — nothing enqueues
+// mid-run).
+func (q *stealQueue) next(w int) (int, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if own := q.deques[w]; len(own) > 0 {
+		j := own[0]
+		q.deques[w] = own[1:]
+		return j, true
+	}
+	for i := 1; i < len(q.deques); i++ {
+		v := (w + i) % len(q.deques)
+		if d := q.deques[v]; len(d) > 0 {
+			j := d[0]
+			q.deques[v] = d[1:]
+			return j, true
+		}
+	}
+	return 0, false
+}
+
+// Dist is a mean ± standard deviation pair: over seed replicates in
+// per-benchmark rows, over benchmarks in the suite aggregate. Std is the
+// population deviation (the replicates are the whole population of the
+// run, not a sample of a larger one).
+type Dist struct {
+	Mean, Std float64
+}
+
+// distOf aggregates in slice order with explicit float64() rounding on the
+// squared terms, so results are byte-identical across architectures (no
+// FMA contraction) and independent of evaluation parallelism.
+func distOf(xs []float64) Dist {
+	n := float64(len(xs))
+	if n == 0 {
+		return Dist{}
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / n
+	varsum := 0.0
+	for _, x := range xs {
+		d := x - mean
+		varsum += float64(d * d) // float64(): no FMA, see timing.LoadsFromDesign
+	}
+	return Dist{Mean: mean, Std: math.Sqrt(varsum / n)}
+}
+
+// SuiteCell is one attacker's outcome against one defense, aggregated over
+// the suite's seed replicates (per-benchmark rows) or over benchmarks (the
+// suite aggregate). CCR/OER/HD are fractions, like SecurityResult.
+type SuiteCell struct {
+	Attacker     string
+	Scored       bool // every aggregated run scored an assignment
+	CCR, OER, HD Dist
+}
+
+// SuiteRow is one defense's aggregated outcome: PPA overheads (percent vs
+// the benchmark's unprotected baseline) and the attacker panel.
+type SuiteRow struct {
+	Defense                  string
+	Swaps                    Dist
+	AreaOH, PowerOH, DelayOH Dist
+	Cells                    []SuiteCell // one per requested attacker, in request order
+}
+
+// SuiteBenchResult is one benchmark's defense rows, each aggregated over
+// the seed replicates, plus the shared unprotected baseline's PPA.
+type SuiteBenchResult struct {
+	Bench   string
+	BasePPA timing.PPA
+	Rows    []SuiteRow // one per requested defense, in request order
+}
+
+// SuiteResult is the full multi-benchmark, multi-seed matrix: per-benchmark
+// rows plus the cross-benchmark aggregate behind the paper's Tables 4/5
+// bottom lines. Aggregate rows average the per-benchmark replicate means,
+// with Std measuring the spread across benchmarks.
+type SuiteResult struct {
+	Benches    []SuiteBenchResult // one per requested benchmark, in request order
+	Aggregate  []SuiteRow         // one per requested defense, across benchmarks
+	Cache      CacheStats
+	Replicates int
+}
+
+// EvaluateSuite fans the (benchmark × defense × attacker × seed-replicate)
+// cross product through one bounded work-stealing worker pool with a
+// content-addressed result cache, so shared cells — each benchmark's
+// unprotected baseline, a defense requested twice — are computed once
+// across the whole suite rather than once per design.
+//
+// Each replicate derives its own splitmix64 seed stream from the master
+// seed (replicate 0 is the master seed itself), every job writes into a
+// preallocated slot, and aggregation runs in request order, so the result
+// — and its serialized SuiteReport — is byte-identical at every
+// parallelism level. The per-benchmark baseline is keyed at the master
+// seed: replicates vary the defense and attack randomness against a fixed
+// reference layout.
+func EvaluateSuite(ctx context.Context, lib *cell.Library, opt SuiteOptions) (SuiteResult, error) {
+	opt = opt.withDefaults()
+	var out SuiteResult
+	if len(opt.Benchmarks) == 0 {
+		return out, fmt.Errorf("flow: suite needs at least one benchmark")
+	}
+	for _, b := range opt.Benchmarks {
+		if b.Netlist == nil {
+			return out, fmt.Errorf("flow: suite benchmark %q has no netlist", b.Name)
+		}
+	}
+	if _, err := defengine.Resolve(opt.Defenses); err != nil {
+		return out, err
+	}
+	if _, err := engine.Resolve(opt.Attackers); err != nil {
+		return out, err
+	}
+	em := newEmitter(opt.Progress)
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+
+	// Job layout: B baseline jobs (scheduled first so every benchmark's
+	// reference build starts early) followed by B×D×R cell jobs,
+	// bench-major. Cell jobs that reach an unbuilt baseline block on its
+	// cache entry, so no explicit dependency tracking is needed.
+	B, D, R := len(opt.Benchmarks), len(opt.Defenses), opt.Replicates
+	numJobs := B + B*D*R
+	cellRows := make([]MatrixRow, B*D*R)
+	basePPA := make([]timing.PPA, B)
+
+	// The first job error cancels the remaining jobs; context.Cause
+	// preserves it through the pool teardown. An outer cancellation
+	// surfaces as its own cause.
+	cctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	fail := func(err error) {
+		if err != nil {
+			cancel(err)
+		}
+	}
+
+	cache := newSuiteCache()
+	workers := opt.Parallelism
+	if workers > numJobs {
+		workers = numJobs
+	}
+	// Split the parallelism budget like EvaluateMatrix: `workers` jobs in
+	// flight, each attacking up to Parallelism/workers layers at once.
+	inner := opt.Parallelism / workers
+	if inner < 1 {
+		inner = 1
+	}
+
+	runJob := func(j int) {
+		if j < B {
+			ppa, err := suiteBaseline(cctx, cache, opt.Benchmarks[j], lib, opt.Seed, em)
+			if err != nil {
+				fail(err)
+				return
+			}
+			basePPA[j] = ppa
+			return
+		}
+		k := j - B
+		b, rem := k/(D*R), k%(D*R)
+		d, r := rem/R, rem%R
+		row, err := suiteCell(cctx, cache, opt.Benchmarks[b], lib, opt.Defenses[d], r, inner, opt, em)
+		if err != nil {
+			fail(err)
+			return
+		}
+		cellRows[k] = row
+	}
+
+	queue := newStealQueue(numJobs, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				j, ok := queue.next(w)
+				if !ok {
+					return
+				}
+				runJob(j)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := context.Cause(cctx); err != nil {
+		return out, err
+	}
+
+	// Aggregate in request order: replicates collapse to mean ± std per
+	// (benchmark, defense) row, then benchmarks collapse to the suite
+	// aggregate per defense.
+	out.Replicates = R
+	for b, sb := range opt.Benchmarks {
+		br := SuiteBenchResult{Bench: sb.Name, BasePPA: basePPA[b]}
+		for d := range opt.Defenses {
+			reps := make([]MatrixRow, R)
+			for r := 0; r < R; r++ {
+				reps[r] = cellRows[(b*D+d)*R+r]
+			}
+			br.Rows = append(br.Rows, suiteRowOf(opt.Defenses[d], opt.Attackers, reps))
+		}
+		out.Benches = append(out.Benches, br)
+	}
+	for d, name := range opt.Defenses {
+		out.Aggregate = append(out.Aggregate, aggregateRow(name, opt.Attackers, out.Benches, d))
+	}
+	out.Cache = cache.snapshot()
+	return out, nil
+}
+
+// suiteBaseline builds (or reuses) one benchmark's unprotected baseline and
+// returns its PPA — the anchor for every defense row's overheads, computed
+// once per benchmark across the whole suite.
+func suiteBaseline(ctx context.Context, cache *suiteCache, b SuiteBenchmark,
+	lib *cell.Library, seed int64, em *emitter) (timing.PPA, error) {
+	key := "baseline|" + b.cacheKey(seed)
+	v, err := cache.do(key, func() (any, error) {
+		start := time.Now()
+		if err := ctx.Err(); err != nil {
+			return timing.PPA{}, err
+		}
+		base, err := correction.BuildOriginal(b.Netlist, lib, correction.Options{
+			LiftLayer: b.LiftLayer, UtilPercent: b.UtilPercent, Seed: seed,
+		})
+		if err != nil {
+			return timing.PPA{}, err
+		}
+		ppa, err := timing.AnalyzeDesign(base, lib)
+		if err != nil {
+			return timing.PPA{}, err
+		}
+		em.emit(Event{Stage: StageSuiteBaseline, Bench: b.Name, Elapsed: time.Since(start)})
+		return ppa, nil
+	})
+	if err != nil {
+		return timing.PPA{}, err
+	}
+	return v.(timing.PPA), nil
+}
+
+// suiteCell computes (or reuses) one (benchmark, defense, replicate) cell:
+// the defense built with the replicate's derived seed, analyzed against the
+// benchmark's shared baseline, and attacked by the full panel.
+func suiteCell(ctx context.Context, cache *suiteCache, b SuiteBenchmark, lib *cell.Library,
+	defense string, rep, inner int, opt SuiteOptions, em *emitter) (MatrixRow, error) {
+	base, err := suiteBaseline(ctx, cache, b, lib, opt.Seed, em)
+	if err != nil {
+		return MatrixRow{}, err
+	}
+	repSeed := replicateSeed(opt.Seed, rep)
+	key := fmt.Sprintf("cell|%s|defense=%s|fraction=%g|oer=%g|attackers=%s|layers=%v|words=%d|seed=%d",
+		b.cacheKey(opt.Seed), defense, opt.Fraction, opt.TargetOER,
+		strings.Join(opt.Attackers, ","), opt.SplitLayers, opt.PatternWords, repSeed)
+	v, err := cache.do(key, func() (any, error) {
+		row, err := evaluateDefense(ctx, b.Netlist, lib, defense, base, inner, MatrixOptions{
+			Attackers:    opt.Attackers,
+			SplitLayers:  opt.SplitLayers,
+			Seed:         repSeed,
+			PatternWords: opt.PatternWords,
+			LiftLayer:    b.LiftLayer,
+			UtilPercent:  b.UtilPercent,
+			TargetOER:    opt.TargetOER,
+			Fraction:     opt.Fraction,
+		})
+		if err != nil {
+			return MatrixRow{}, err
+		}
+		return row, nil
+	})
+	if err != nil {
+		return MatrixRow{}, err
+	}
+	row := v.(MatrixRow)
+	em.emit(Event{Stage: StageSuiteCell, Bench: b.Name, Replicate: rep,
+		Detail: defense, Elapsed: row.Elapsed})
+	return row, nil
+}
+
+// suiteRowOf collapses one (benchmark, defense)'s replicate rows to
+// mean ± std, per attacker cell.
+func suiteRowOf(defense string, attackers []string, reps []MatrixRow) SuiteRow {
+	row := SuiteRow{Defense: defense}
+	swaps := make([]float64, len(reps))
+	area := make([]float64, len(reps))
+	power := make([]float64, len(reps))
+	delay := make([]float64, len(reps))
+	for r, mr := range reps {
+		swaps[r] = float64(mr.Swaps)
+		area[r], power[r], delay[r] = mr.AreaOH, mr.PowerOH, mr.DelayOH
+	}
+	row.Swaps, row.AreaOH = distOf(swaps), distOf(area)
+	row.PowerOH, row.DelayOH = distOf(power), distOf(delay)
+	for a, name := range attackers {
+		cell := SuiteCell{Attacker: name, Scored: true}
+		ccr := make([]float64, len(reps))
+		oer := make([]float64, len(reps))
+		hd := make([]float64, len(reps))
+		for r, mr := range reps {
+			ar := mr.Security.PerAttacker[a]
+			cell.Scored = cell.Scored && ar.Scored
+			ccr[r], oer[r], hd[r] = ar.CCR, ar.OER, ar.HD
+		}
+		cell.CCR, cell.OER, cell.HD = distOf(ccr), distOf(oer), distOf(hd)
+		row.Cells = append(row.Cells, cell)
+	}
+	return row
+}
+
+// aggregateRow collapses one defense's per-benchmark means into the
+// cross-benchmark aggregate: Mean averages the benchmark means, Std is the
+// spread across benchmarks.
+func aggregateRow(defense string, attackers []string, benches []SuiteBenchResult, d int) SuiteRow {
+	row := SuiteRow{Defense: defense}
+	n := len(benches)
+	pick := func(f func(SuiteRow) float64) Dist {
+		xs := make([]float64, n)
+		for b, br := range benches {
+			xs[b] = f(br.Rows[d])
+		}
+		return distOf(xs)
+	}
+	row.Swaps = pick(func(r SuiteRow) float64 { return r.Swaps.Mean })
+	row.AreaOH = pick(func(r SuiteRow) float64 { return r.AreaOH.Mean })
+	row.PowerOH = pick(func(r SuiteRow) float64 { return r.PowerOH.Mean })
+	row.DelayOH = pick(func(r SuiteRow) float64 { return r.DelayOH.Mean })
+	for a, name := range attackers {
+		cell := SuiteCell{Attacker: name, Scored: true}
+		ccr := make([]float64, n)
+		oer := make([]float64, n)
+		hd := make([]float64, n)
+		for b, br := range benches {
+			bc := br.Rows[d].Cells[a]
+			cell.Scored = cell.Scored && bc.Scored
+			ccr[b], oer[b], hd[b] = bc.CCR.Mean, bc.OER.Mean, bc.HD.Mean
+		}
+		cell.CCR, cell.OER, cell.HD = distOf(ccr), distOf(oer), distOf(hd)
+		row.Cells = append(row.Cells, cell)
+	}
+	return row
+}

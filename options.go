@@ -14,6 +14,7 @@ type pipelineConfig struct {
 	attackers    []string
 	defenses     []string
 	fraction     float64
+	replicates   int
 	maxAttempts  int
 	parallelism  int
 	progress     ProgressFunc
@@ -90,6 +91,15 @@ func WithDefenses(names ...string) Option {
 // value, 0.15).
 func WithFraction(f float64) Option {
 	return func(c *pipelineConfig) { c.fraction = f }
+}
+
+// WithReplicates sets how many seed replicates Suite runs per
+// (benchmark, defense) cell (default 1). Each replicate derives its own
+// splitmix64 seed stream from the master seed — replicate 0 is the master
+// seed itself — and the suite report carries mean ± standard deviation
+// over the replicates, like the paper's averaged-run tables.
+func WithReplicates(n int) Option {
+	return func(c *pipelineConfig) { c.replicates = n }
 }
 
 // WithMaxAttempts caps the Protect escalation loop (default 6). 1 runs a

@@ -224,6 +224,53 @@ func (p *Pipeline) matrixOptions(d *Design) flow.MatrixOptions {
 	}
 }
 
+// Suite fans the full (benchmark × defense × attacker × seed-replicate)
+// cross product behind the paper's Tables 4/5 through one bounded
+// work-stealing worker pool with a content-addressed result cache: each
+// benchmark's unprotected baseline is built once for the whole suite (not
+// once per defense or replicate), and repeated cells are served from the
+// cache. WithReplicates(n) runs every (benchmark, defense) cell under n
+// derived seed streams and reports mean ± standard deviation; the report
+// is byte-identical at every parallelism level. Suite-level progress
+// events (StageSuiteBaseline, StageSuiteCell) flow through the configured
+// WithProgress hook.
+func (p *Pipeline) Suite(ctx context.Context, designs []*Design) (*SuiteReport, error) {
+	opt := p.suiteOptions(designs)
+	res, err := flow.EvaluateSuite(ctx, p.lib, opt)
+	if err != nil {
+		return nil, err
+	}
+	rep := res.Report(opt)
+	return &rep, nil
+}
+
+func (p *Pipeline) suiteOptions(designs []*Design) flow.SuiteOptions {
+	c := p.cfg
+	opt := flow.SuiteOptions{
+		Defenses:     c.defenses,
+		Attackers:    c.attackers,
+		SplitLayers:  c.splitLayers,
+		Seed:         c.seed,
+		Replicates:   c.replicates,
+		PatternWords: c.patternWords,
+		Parallelism:  c.parallelism,
+		TargetOER:    c.targetOER,
+		Fraction:     c.fraction,
+		Progress:     c.progress,
+	}
+	for _, d := range designs {
+		fc := p.flowConfig(d)
+		opt.Benchmarks = append(opt.Benchmarks, flow.SuiteBenchmark{
+			Name:        d.name,
+			Netlist:     d.nl,
+			Scale:       d.scale,
+			LiftLayer:   fc.LiftLayer,
+			UtilPercent: fc.UtilPercent,
+		})
+	}
+	return opt
+}
+
 // Attack takes the attacker's perspective on an unprotected design: build
 // the baseline layout and evaluate it. Equivalent to Baseline followed by
 // Evaluate.

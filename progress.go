@@ -11,7 +11,9 @@ import (
 // Protect passes through StageRandomize, StagePlace, StageLift, StageRoute,
 // StageRestore, StageVerify, and StagePPA once per escalation attempt
 // (plus StagePlace/StageRoute with Detail "baseline" for the reference
-// layout); Evaluate emits one StageAttack event per split layer.
+// layout); Evaluate emits one StageAttack event per split layer; Suite
+// emits one StageSuiteBaseline event per benchmark and one StageSuiteCell
+// event per (benchmark, defense, replicate) cell.
 type Stage = flow.Stage
 
 // Stages, in the order the pipeline passes through them.
@@ -24,12 +26,19 @@ const (
 	StageVerify    = flow.StageVerify
 	StagePPA       = flow.StagePPA
 	StageAttack    = flow.StageAttack
+
+	// Suite-level stages: a benchmark's shared unprotected baseline was
+	// built (Bench set), or a (benchmark, defense, replicate) cell
+	// completed (Bench, Replicate, and Detail = defense name set).
+	StageSuiteBaseline = flow.StageSuiteBaseline
+	StageSuiteCell     = flow.StageSuiteCell
 )
 
 // ProgressEvent is one completed stage transition, carrying the stage's
 // wall-clock duration. For StageAttack events Layer is the split layer;
 // for Protect stages Attempt is the 1-based escalation attempt (0 marks
-// work on the baseline layout).
+// work on the baseline layout); for suite stages Bench is the benchmark
+// and Replicate the 0-based seed replicate.
 type ProgressEvent = flow.Event
 
 // ProgressFunc receives stage-completion events. Calls are serialized even
@@ -44,6 +53,10 @@ func ProgressLogger(w io.Writer) ProgressFunc {
 		switch {
 		case ev.Stage == StageAttack:
 			where = fmt.Sprintf(" M%d", ev.Layer)
+		case ev.Stage == StageSuiteBaseline:
+			where = " " + ev.Bench
+		case ev.Stage == StageSuiteCell:
+			where = fmt.Sprintf(" %s r%d", ev.Bench, ev.Replicate)
 		case ev.Attempt > 0:
 			where = fmt.Sprintf(" #%d", ev.Attempt)
 		}

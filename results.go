@@ -51,6 +51,28 @@ type MatrixRowReport = flow.MatrixRowReport
 // MatrixCellReport is one (defense, attacker) cell inside a MatrixRowReport.
 type MatrixCellReport = flow.MatrixCellReport
 
+// SuiteReport is the unified, JSON-serializable multi-benchmark,
+// multi-seed matrix produced by Pipeline.Suite: per-benchmark defense rows
+// aggregated over seed replicates (mean ± std), the cross-benchmark
+// aggregate behind the paper's Tables 4/5 bottom lines, and the suite
+// cache's hit/miss counters.
+type SuiteReport = flow.SuiteReport
+
+// SuiteBenchReport is one benchmark's section inside a SuiteReport.
+type SuiteBenchReport = flow.SuiteBenchReport
+
+// SuiteRowReport is one defense's aggregated row inside a SuiteReport.
+type SuiteRowReport = flow.SuiteRowReport
+
+// SuiteCellReport is one (defense, attacker) cell inside a SuiteRowReport.
+type SuiteCellReport = flow.SuiteCellReport
+
+// DistReport is a mean ± standard deviation pair inside suite reports.
+type DistReport = flow.DistReport
+
+// CacheStats is the suite cache's deterministic hit/miss counters.
+type CacheStats = flow.CacheStats
+
 // MarshalReport renders any report type as indented JSON.
 func MarshalReport(v interface{}) ([]byte, error) {
 	return json.MarshalIndent(v, "", "  ")
@@ -184,6 +206,55 @@ func RenderMatrix(rep *MatrixReport) string {
 		}
 		b.WriteString("\n")
 	}
+	return b.String()
+}
+
+// fmtDist renders a mean ± std pair compactly.
+func fmtDist(d DistReport) string {
+	return fmt.Sprintf("%.1f±%.1f", d.Mean, d.Std)
+}
+
+// renderSuiteRows renders one block of suite rows with the shared
+// matrix-style header: one defense per line with its PPA overheads, one
+// CCR/OER/HD column group per attacker, every number as mean ± std.
+func renderSuiteRows(b *strings.Builder, attackers []string, rows []SuiteRowReport) {
+	fmt.Fprintf(b, "%-24s %34s", "defense", "overhead area/pwr/dly %")
+	for _, a := range attackers {
+		// 31 = the 9+2+9+2+9 data cell width, keeping the '|' separators
+		// aligned between header and rows.
+		fmt.Fprintf(b, " | %-31s", a+" CCR/OER/HD %")
+	}
+	b.WriteString("\n")
+	for _, row := range rows {
+		fmt.Fprintf(b, "%-24s %10s /%10s /%10s", row.Defense,
+			fmtDist(row.AreaOHPct), fmtDist(row.PowerOHPct), fmtDist(row.DelayOHPct))
+		for _, c := range row.Cells {
+			if !c.Scored {
+				fmt.Fprintf(b, " | %-32s", "metrics-only")
+				continue
+			}
+			fmt.Fprintf(b, " | %9s /%9s /%9s",
+				fmtDist(c.CCRPercent), fmtDist(c.OERPercent), fmtDist(c.HDPercent))
+		}
+		b.WriteString("\n")
+	}
+}
+
+// RenderSuite renders a SuiteReport as fixed-width text: the
+// cross-benchmark aggregate first (the paper's Tables 4/5 bottom lines),
+// then one section per benchmark, then the suite cache counters.
+func RenderSuite(rep *SuiteReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "suite: %d benchmarks x %d defenses x %d attackers, %d replicate(s) (seed %d, split layers %v)\n",
+		len(rep.Benchmarks), len(rep.Defenses), len(rep.Attackers),
+		rep.Replicates, rep.Seed, rep.SplitLayers)
+	fmt.Fprintf(&b, "\n== aggregate: mean ± std across benchmarks ==\n")
+	renderSuiteRows(&b, rep.Attackers, rep.Aggregate)
+	for _, br := range rep.PerBenchmark {
+		fmt.Fprintf(&b, "\n== %s: mean ± std over %d replicate(s) ==\n", br.Benchmark, rep.Replicates)
+		renderSuiteRows(&b, rep.Attackers, br.Rows)
+	}
+	fmt.Fprintf(&b, "\ncache: %d hits, %d misses\n", rep.Cache.Hits, rep.Cache.Misses)
 	return b.String()
 }
 

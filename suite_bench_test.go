@@ -1,0 +1,38 @@
+package splitmfg
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkSuiteIscasPair measures one small two-benchmark, two-replicate
+// suite evaluation end to end — scheduler, shared-baseline cache, defense
+// builds, attacker panel, aggregation. CI runs it at -benchtime=1x and
+// publishes the result as BENCH_suite.json via tools/benchjson, so the
+// suite path's perf trajectory is tracked alongside the evaluate path:
+//
+//	go test -run XXX -bench SuiteIscasPair -benchtime=3x
+func BenchmarkSuiteIscasPair(b *testing.B) {
+	var designs []*Design
+	for _, name := range []string{"c432", "c880"} {
+		d, err := LoadBenchmark(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		designs = append(designs, d)
+	}
+	pipe := New(
+		WithSeed(1),
+		WithPatternWords(16),
+		WithReplicates(2),
+		WithDefenses("randomize-correction", "pin-swapping"),
+		WithAttackers("proximity", "random"),
+	)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipe.Suite(ctx, designs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
