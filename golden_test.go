@@ -83,6 +83,43 @@ func TestGoldenProtectAndSecurityReports(t *testing.T) {
 	goldenCompare(t, "security_c432.json", marshalGolden(t, sec))
 }
 
+// TestGoldenReportsRouteSerialVsParallel: the wave-parallel router's
+// determinism contract at the report level. A serial-routing run
+// (WithRouteParallelism(1)) and an explicitly parallel one must both
+// reproduce the same golden bytes the default configuration is pinned to
+// — protect and security reports alike.
+func TestGoldenReportsRouteSerialVsParallel(t *testing.T) {
+	design, err := LoadBenchmark("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, tc := range []struct {
+		name string
+		par  int
+	}{
+		{"serial", 1},
+		{"parallel4", 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			pipe := goldenPipeline(
+				WithAttackers("proximity", "greedy", "random"),
+				WithRouteParallelism(tc.par),
+			)
+			res, err := pipe.Protect(ctx, design)
+			if err != nil {
+				t.Fatal(err)
+			}
+			goldenCompare(t, "protect_c432.json", marshalGolden(t, res.Report()))
+			sec, err := pipe.Evaluate(ctx, res.ProtectedLayout())
+			if err != nil {
+				t.Fatal(err)
+			}
+			goldenCompare(t, "security_c432.json", marshalGolden(t, sec))
+		})
+	}
+}
+
 func TestGoldenSuiteReport(t *testing.T) {
 	// Two benchmarks × two defenses × two attackers × two seed replicates:
 	// the whole suite path — scheduler, cache, replicate seed derivation,

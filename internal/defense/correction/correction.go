@@ -18,6 +18,7 @@
 package correction
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -238,10 +239,21 @@ func driverPoint(d *layout.Design, netID int) geom.Point {
 // routeErroneous routes the full erroneous design: plain nets flat;
 // protected nets as a lifted trunk (driver + plain sinks + the C pins of
 // the protected sinks' correction cells) plus one lifted Z->sink stub per
-// protected sink.
+// protected sink. The whole set goes through the batched wave-parallel
+// routing API in one deterministic order (per net: trunk, then its
+// stubs), so spatially disjoint entities route concurrently with results
+// identical to the sequential schedule.
 func (p *Protected) routeErroneous() error {
 	d := p.Design
 	protected := p.ProtectedSinks()
+	// what describes each job for error reporting; parallel to jobs.
+	type what struct {
+		stub bool
+		name string
+		pin  netlist.PinRef
+	}
+	var jobs []layout.EntityJob
+	var whats []what
 	stub := 0
 	for _, n := range d.Netlist.Nets {
 		if n.FanoutCount() == 0 {
@@ -269,9 +281,8 @@ func (p *Protected) routeErroneous() error {
 				})
 			}
 		}
-		if err := d.RouteEntity(n.ID, n.ID, trunk, lift); err != nil {
-			return fmt.Errorf("correction: trunk of net %q: %v", n.Name, err)
-		}
+		jobs = append(jobs, layout.EntityJob{RouteID: n.ID, NetID: n.ID, Pins: trunk, Lift: lift})
+		whats = append(whats, what{name: n.Name})
 		// Stubs: Z(cell) -> sink, also lifted (their wiring above the split
 		// layer, pin access below).
 		for _, pin := range prot {
@@ -287,12 +298,22 @@ func (p *Protected) routeErroneous() error {
 			// this sink — tag it so restored-PPA analysis attributes its RC
 			// to the right net.
 			trueNet := randomize.TrueSourceNet(p.Original, pin)
-			if err := d.RouteEntity(stubBase+stub, trueNet, pins, p.LiftLayer); err != nil {
-				return fmt.Errorf("correction: stub for %v: %v", pin, err)
-			}
+			jobs = append(jobs, layout.EntityJob{RouteID: stubBase + stub, NetID: trueNet, Pins: pins, Lift: p.LiftLayer})
+			whats = append(whats, what{stub: true, pin: pin})
 			p.StubRoute[pin] = stubBase + stub
 			stub++
 		}
+	}
+	if err := d.RouteEntities(jobs); err != nil {
+		var je *route.JobError
+		if errors.As(err, &je) {
+			if w := whats[je.Index]; w.stub {
+				return fmt.Errorf("correction: stub for %v: %v", w.pin, je.Err)
+			} else {
+				return fmt.Errorf("correction: trunk of net %q: %v", w.name, je.Err)
+			}
+		}
+		return err
 	}
 	return nil
 }
@@ -302,6 +323,8 @@ func (p *Protected) routeErroneous() error {
 // above the lift layer (both terminals are lift-layer pins).
 func (p *Protected) restore() error {
 	d := p.Design
+	var jobs []layout.EntityJob
+	var sinks []netlist.PinRef // per job, for error reporting
 	id := restoreBase
 	for _, s := range p.Swaps {
 		cellA, okA := p.CellOf[s.A]
@@ -324,12 +347,18 @@ func (p *Protected) restore() error {
 					Role: layout.RoleCorrIn, Gate: w.to, PO: -1},
 			}
 			trueNet := randomize.TrueSourceNet(p.Original, w.sink)
-			if err := d.RouteEntity(id, trueNet, pins, p.LiftLayer); err != nil {
-				return fmt.Errorf("correction: restore wire for %v: %v", w.sink, err)
-			}
+			jobs = append(jobs, layout.EntityJob{RouteID: id, NetID: trueNet, Pins: pins, Lift: p.LiftLayer})
+			sinks = append(sinks, w.sink)
 			p.RestoreRoutes = append(p.RestoreRoutes, id)
 			id++
 		}
+	}
+	if err := d.RouteEntities(jobs); err != nil {
+		var je *route.JobError
+		if errors.As(err, &je) {
+			return fmt.Errorf("correction: restore wire for %v: %v", sinks[je.Index], je.Err)
+		}
+		return err
 	}
 	d.Router.NegotiateReroute(3)
 	return nil

@@ -10,6 +10,7 @@ import (
 	"splitmfg/internal/defense/randomize"
 	"splitmfg/internal/layout"
 	"splitmfg/internal/netlist"
+	"splitmfg/internal/route"
 )
 
 func init() {
@@ -35,11 +36,13 @@ func randomizeRNG(o Options) *rand.Rand {
 }
 
 func (o Options) baselineOptions() baselines.Options {
-	return baselines.Options{UtilPercent: o.UtilPercent, Seed: o.Seed, Fraction: o.Fraction}
+	return baselines.Options{UtilPercent: o.UtilPercent, Seed: o.Seed, Fraction: o.Fraction,
+		RouteOpt: route.Options{Parallelism: o.RouteParallelism}}
 }
 
 func (o Options) correctionOptions() correction.Options {
-	return correction.Options{LiftLayer: o.LiftLayer, UtilPercent: o.UtilPercent, Seed: o.Seed}
+	return correction.Options{LiftLayer: o.LiftLayer, UtilPercent: o.UtilPercent, Seed: o.Seed,
+		RouteOpt: route.Options{Parallelism: o.RouteParallelism}}
 }
 
 // randomizeCorrection is the paper's proposed scheme: one randomization

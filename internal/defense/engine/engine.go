@@ -69,6 +69,11 @@ type Options struct {
 	// Fraction is the perturbed fraction for the prior-art schemes
 	// (scheme-specific meaning; 0 = each scheme's published-ish default).
 	Fraction float64
+
+	// RouteParallelism is the worker count for wave-parallel net routing
+	// inside the scheme's place-and-route (0 = GOMAXPROCS, 1 = serial).
+	// Routed layouts are byte-identical at every level.
+	RouteParallelism int
 }
 
 func (o Options) withDefaults() Options {

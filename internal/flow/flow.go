@@ -30,6 +30,7 @@ import (
 	"splitmfg/internal/layout"
 	"splitmfg/internal/metrics"
 	"splitmfg/internal/netlist"
+	"splitmfg/internal/route"
 	"splitmfg/internal/sim"
 	"splitmfg/internal/timing"
 )
@@ -47,6 +48,12 @@ const (
 	StageVerify    Stage = "verify"
 	StagePPA       Stage = "ppa"
 	StageAttack    Stage = "attack"
+
+	// StageRouteWave is emitted once per committed multi-net wave of a
+	// parallel routing batch (Detail carries "wave i/n: k nets" plus the
+	// build the wave belongs to). Single-net waves and serial routing
+	// emit no wave events.
+	StageRouteWave Stage = "route-wave"
 )
 
 // Event is one completed stage transition.
@@ -75,6 +82,11 @@ type Config struct {
 	PatternWords     int     // words for final OER/HD metrics (default 256 = 16384 patterns)
 	SplitLayers      []int   // layers to attack and average over (default M3,M4,M5)
 	MaxAttempts      int     // escalation attempts in Protect (default 6; 1 = no escalation)
+
+	// RouteParallelism is the worker count for wave-parallel net routing
+	// inside each place-and-route (0 = GOMAXPROCS, 1 = serial). Reports
+	// are byte-identical at every level.
+	RouteParallelism int
 
 	// Progress, when non-nil, receives stage-completion events.
 	Progress ProgressFunc
@@ -137,6 +149,17 @@ func (e *emitter) observe(attempt int, detail string) func(string, time.Duration
 	}
 }
 
+// observeWaves adapts batched-routing wave completions to progress events.
+func (e *emitter) observeWaves(attempt int, detail string) func(wave, waves, nets int, elapsed time.Duration) {
+	if e == nil {
+		return nil
+	}
+	return func(wave, waves, nets int, elapsed time.Duration) {
+		e.emit(Event{Stage: StageRouteWave, Attempt: attempt,
+			Detail: fmt.Sprintf("%s wave %d/%d: %d nets", detail, wave, waves, nets), Elapsed: elapsed})
+	}
+}
+
 // ProtectResult is the flow outcome.
 type ProtectResult struct {
 	Protected *correction.Protected
@@ -161,6 +184,8 @@ func Protect(ctx context.Context, original *netlist.Netlist, lib *cell.Library, 
 	em := newEmitter(cfg.Progress)
 	copt := correction.Options{
 		LiftLayer: cfg.LiftLayer, UtilPercent: cfg.UtilPercent, Seed: cfg.Seed,
+		RouteOpt: route.Options{Parallelism: cfg.RouteParallelism,
+			OnWave: em.observeWaves(0, "baseline")},
 		Observe: em.observe(0, "baseline"),
 	}
 	if err := ctx.Err(); err != nil {
@@ -190,6 +215,7 @@ func Protect(ctx context.Context, original *netlist.Netlist, lib *cell.Library, 
 			return nil, err
 		}
 		copt.Observe = em.observe(attempt+1, "protected")
+		copt.RouteOpt.OnWave = em.observeWaves(attempt+1, "protected")
 		rng := rand.New(rand.NewSource(cfg.Seed))
 		target := cfg.TargetOER
 		if attempt > 0 {

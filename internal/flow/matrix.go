@@ -12,6 +12,7 @@ import (
 	"splitmfg/internal/cell"
 	"splitmfg/internal/defense/correction"
 	"splitmfg/internal/netlist"
+	"splitmfg/internal/route"
 	"splitmfg/internal/timing"
 )
 
@@ -34,6 +35,12 @@ type MatrixOptions struct {
 	TargetOER    float64      // randomization stop criterion (default 0.999)
 	Fraction     float64      // perturbed fraction for prior-art defenses (0 = published-ish defaults)
 	Progress     ProgressFunc // optional per-defense / per-layer completion events
+
+	// RouteParallelism is the worker count for wave-parallel net routing
+	// inside each defense build (0 = the row's share of Parallelism, so
+	// the route workers of concurrent rows do not multiply; 1 = serial).
+	// Results are byte-identical at every level.
+	RouteParallelism int
 }
 
 func (o MatrixOptions) withDefaults() MatrixOptions {
@@ -122,9 +129,16 @@ func EvaluateMatrix(ctx context.Context, nl *netlist.Netlist, lib *cell.Library,
 		return out, err
 	}
 
-	// The unprotected baseline anchors every row's PPA delta.
+	// The unprotected baseline anchors every row's PPA delta. It builds
+	// before the row pool starts, so it can use the full parallelism
+	// budget for its routing.
+	baseRouteP := opt.RouteParallelism
+	if baseRouteP == 0 {
+		baseRouteP = opt.Parallelism
+	}
 	base, err := correction.BuildOriginal(nl, lib, correction.Options{
 		LiftLayer: opt.LiftLayer, UtilPercent: opt.UtilPercent, Seed: opt.Seed,
+		RouteOpt: route.Options{Parallelism: baseRouteP},
 	})
 	if err != nil {
 		return out, err
@@ -206,12 +220,17 @@ func evaluateDefense(ctx context.Context, nl *netlist.Netlist, lib *cell.Library
 	// contract, mirroring attack engines): each scheme derives its own
 	// streams by label, and the shared "randomize" label is what keeps
 	// naive-lifted protecting exactly randomize-correction's sink set.
+	routeP := opt.RouteParallelism
+	if routeP == 0 {
+		routeP = parallelism // the row's share of the one parallelism budget
+	}
 	prot, err := def.Protect(ctx, nl, lib, defengine.Options{
-		Seed:        defengine.DeriveSeed(opt.Seed, "defense"),
-		LiftLayer:   opt.LiftLayer,
-		UtilPercent: opt.UtilPercent,
-		TargetOER:   opt.TargetOER,
-		Fraction:    opt.Fraction,
+		Seed:             defengine.DeriveSeed(opt.Seed, "defense"),
+		LiftLayer:        opt.LiftLayer,
+		UtilPercent:      opt.UtilPercent,
+		TargetOER:        opt.TargetOER,
+		Fraction:         opt.Fraction,
+		RouteParallelism: routeP,
 	})
 	if err != nil {
 		return row, err

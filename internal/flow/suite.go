@@ -16,6 +16,7 @@ import (
 	"splitmfg/internal/cell"
 	"splitmfg/internal/defense/correction"
 	"splitmfg/internal/netlist"
+	"splitmfg/internal/route"
 	"splitmfg/internal/timing"
 )
 
@@ -66,6 +67,12 @@ type SuiteOptions struct {
 	TargetOER    float64          // randomization stop criterion (default 0.999)
 	Fraction     float64          // perturbed fraction for prior-art defenses
 	Progress     ProgressFunc     // optional suite-level completion events
+
+	// RouteParallelism is the worker count for wave-parallel net routing
+	// inside each build (0 = the job's share of Parallelism, so route
+	// workers of concurrent suite jobs do not multiply; 1 = serial).
+	// Results are byte-identical at every level.
+	RouteParallelism int
 }
 
 func (o SuiteOptions) withDefaults() SuiteOptions {
@@ -336,9 +343,14 @@ func EvaluateSuite(ctx context.Context, lib *cell.Library, opt SuiteOptions) (Su
 		inner = 1
 	}
 
+	routeP := opt.RouteParallelism
+	if routeP == 0 {
+		routeP = inner
+	}
+
 	runJob := func(j int) {
 		if j < B {
-			ppa, err := suiteBaseline(cctx, cache, opt.Benchmarks[j], lib, opt.Seed, em)
+			ppa, err := suiteBaseline(cctx, cache, opt.Benchmarks[j], lib, opt.Seed, routeP, em)
 			if err != nil {
 				fail(err)
 				return
@@ -403,7 +415,7 @@ func EvaluateSuite(ctx context.Context, lib *cell.Library, opt SuiteOptions) (Su
 // returns its PPA — the anchor for every defense row's overheads, computed
 // once per benchmark across the whole suite.
 func suiteBaseline(ctx context.Context, cache *suiteCache, b SuiteBenchmark,
-	lib *cell.Library, seed int64, em *emitter) (timing.PPA, error) {
+	lib *cell.Library, seed int64, routeP int, em *emitter) (timing.PPA, error) {
 	key := "baseline|" + b.cacheKey(seed)
 	v, err := cache.do(key, func() (any, error) {
 		start := time.Now()
@@ -412,6 +424,7 @@ func suiteBaseline(ctx context.Context, cache *suiteCache, b SuiteBenchmark,
 		}
 		base, err := correction.BuildOriginal(b.Netlist, lib, correction.Options{
 			LiftLayer: b.LiftLayer, UtilPercent: b.UtilPercent, Seed: seed,
+			RouteOpt: route.Options{Parallelism: routeP},
 		})
 		if err != nil {
 			return timing.PPA{}, err
@@ -434,7 +447,13 @@ func suiteBaseline(ctx context.Context, cache *suiteCache, b SuiteBenchmark,
 // benchmark's shared baseline, and attacked by the full panel.
 func suiteCell(ctx context.Context, cache *suiteCache, b SuiteBenchmark, lib *cell.Library,
 	defense string, rep, inner int, opt SuiteOptions, em *emitter) (MatrixRow, error) {
-	base, err := suiteBaseline(ctx, cache, b, lib, opt.Seed, em)
+	// Each suite job routes with its share of the one parallelism budget
+	// unless the caller pinned a route worker count explicitly.
+	routeP := opt.RouteParallelism
+	if routeP == 0 {
+		routeP = inner
+	}
+	base, err := suiteBaseline(ctx, cache, b, lib, opt.Seed, routeP, em)
 	if err != nil {
 		return MatrixRow{}, err
 	}
@@ -444,14 +463,15 @@ func suiteCell(ctx context.Context, cache *suiteCache, b SuiteBenchmark, lib *ce
 		strings.Join(opt.Attackers, ","), opt.SplitLayers, opt.PatternWords, repSeed)
 	v, err := cache.do(key, func() (any, error) {
 		row, err := evaluateDefense(ctx, b.Netlist, lib, defense, base, inner, MatrixOptions{
-			Attackers:    opt.Attackers,
-			SplitLayers:  opt.SplitLayers,
-			Seed:         repSeed,
-			PatternWords: opt.PatternWords,
-			LiftLayer:    b.LiftLayer,
-			UtilPercent:  b.UtilPercent,
-			TargetOER:    opt.TargetOER,
-			Fraction:     opt.Fraction,
+			Attackers:        opt.Attackers,
+			SplitLayers:      opt.SplitLayers,
+			Seed:             repSeed,
+			PatternWords:     opt.PatternWords,
+			LiftLayer:        b.LiftLayer,
+			UtilPercent:      b.UtilPercent,
+			TargetOER:        opt.TargetOER,
+			Fraction:         opt.Fraction,
+			RouteParallelism: routeP,
 		})
 		if err != nil {
 			return MatrixRow{}, err

@@ -7,6 +7,7 @@
 package layout
 
 import (
+	"errors"
 	"fmt"
 
 	"splitmfg/internal/cell"
@@ -137,9 +138,43 @@ func (d *Design) RouteEntity(routeID, netID int, pins []TaggedPin, lift int) err
 	return nil
 }
 
+// EntityJob describes one routable entity for batched routing.
+type EntityJob struct {
+	RouteID int
+	NetID   int
+	Pins    []TaggedPin
+	Lift    int
+}
+
+// RouteEntities routes the jobs through the router's batched wave-parallel
+// API (route.Router.RouteJobs), with results identical to calling
+// RouteEntity for each job in order. On success every job's terminals are
+// recorded; on failure a *route.JobError surfaces so callers can name the
+// failing entity (its Index addresses the jobs slice).
+func (d *Design) RouteEntities(jobs []EntityJob) error {
+	rjobs := make([]route.Job, len(jobs))
+	for i, j := range jobs {
+		rpins := make([]route.Pin, len(j.Pins))
+		for k, p := range j.Pins {
+			rpins[k] = p.Pin
+		}
+		rjobs[i] = route.Job{ID: j.RouteID, Pins: rpins, MinLayer: j.Lift}
+	}
+	if err := d.Router.RouteJobs(rjobs); err != nil {
+		return err
+	}
+	for _, j := range jobs {
+		d.Pins[j.RouteID] = j.Pins
+		d.NetOf[j.RouteID] = j.NetID
+	}
+	return nil
+}
+
 // RouteAll routes every netlist net flat (no synthetic cells); lifts maps
 // net IDs to minimum layers (missing = unconstrained). Nets are routed in
-// increasing-HPWL order, short first, like a conventional global router.
+// increasing-HPWL order, short first, like a conventional global router;
+// spatially disjoint nets route concurrently (route.Options.Parallelism)
+// with byte-identical results.
 func (d *Design) RouteAll(lifts map[int]int) error {
 	type job struct {
 		id   int
@@ -162,14 +197,20 @@ func (d *Design) RouteAll(lifts map[int]int) error {
 		}
 		jobs[k+1] = j
 	}
-	for _, j := range jobs {
+	ejobs := make([]EntityJob, len(jobs))
+	for i, j := range jobs {
 		lift := DefaultLift(j.hpwl / d.Grid.GCell)
 		if l, ok := lifts[j.id]; ok {
 			lift = l
 		}
-		if err := d.RouteEntity(j.id, j.id, d.TaggedNetPins(j.id), lift); err != nil {
-			return fmt.Errorf("layout: routing net %q: %v", d.Netlist.Nets[j.id].Name, err)
+		ejobs[i] = EntityJob{RouteID: j.id, NetID: j.id, Pins: d.TaggedNetPins(j.id), Lift: lift}
+	}
+	if err := d.RouteEntities(ejobs); err != nil {
+		var je *route.JobError
+		if errors.As(err, &je) {
+			return fmt.Errorf("layout: routing net %q: %v", d.Netlist.Nets[ejobs[je.Index].NetID].Name, je.Err)
 		}
+		return err
 	}
 	d.Router.NegotiateReroute(3)
 	return nil

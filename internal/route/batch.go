@@ -1,0 +1,315 @@
+package route
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"splitmfg/internal/geom"
+)
+
+// Job is one net of a batched routing request (RouteJobs).
+type Job struct {
+	ID       int
+	Pins     []Pin
+	MinLayer int
+}
+
+// JobError reports which job of a batch failed. It wraps the same error
+// the equivalent RouteNet call would have returned.
+type JobError struct {
+	Index int // position in the jobs slice
+	ID    int // net ID
+	Err   error
+}
+
+func (e *JobError) Error() string { return e.Err.Error() }
+func (e *JobError) Unwrap() error { return e.Err }
+
+// waveTileGCells is the bucket size the wave partition hashes job regions
+// into. Conflicts are detected at tile granularity (two jobs sharing a
+// tile are serialized into different waves), so the tile must be small
+// relative to a typical declared region (>= 2*MaxDetour+1 gcells wide) or
+// tile-sharing degenerates into a global chain: real ISCAS/superblue
+// grids are only 45-160 gcells across.
+const waveTileGCells = 8
+
+// RouteJobs routes the jobs in order, with semantics identical to calling
+// RouteNet(j.ID, j.Pins, j.MinLayer) for each job sequentially — but, when
+// Opt.Parallelism allows (0 = GOMAXPROCS), spatially disjoint nets route
+// concurrently:
+//
+// Each job declares a region — its pin bounding box (plus any existing
+// route's bounding box) expanded by MaxDetour gcells per sink, the bound
+// on how far its searches can read or write congestion state. The batch is
+// partitioned into deterministic waves such that jobs within a wave have
+// pairwise disjoint regions (and any two conflicting jobs keep their
+// serial order across waves). A wave's nets route concurrently on
+// worker-local scratch against the usage state committed by earlier
+// waves, then commit edges and usage in job order; since same-wave nets
+// cannot observe each other, the committed state after every wave is
+// byte-identical to the serial schedule's.
+//
+// A search that would expand beyond its declared region (a detour retry,
+// or a multi-sink tree drifting unusually far) cannot be proven
+// order-independent: the batch then discards all concurrent work, rolls
+// back to its starting state, and re-runs entirely serially. The fallback
+// — like everything else here — is deterministic, so results never depend
+// on the parallelism level. On failure the routed prefix may differ from
+// a serial run's (the batch aborts mid-partition); callers must treat any
+// error as fatal for the whole design.
+//
+// A batch whose jobs repeat an ID routes serially (the later job would
+// rip up a route committed mid-batch, which the up-front partition cannot
+// see); replacing routes that existed before the batch parallelizes fine.
+//
+// Opt.OnWave, when set, observes each committed multi-net wave.
+func (r *Router) RouteJobs(jobs []Job) error {
+	p := r.Opt.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > len(jobs) {
+		p = len(jobs)
+	}
+	if p <= 1 {
+		return r.routeJobsSerial(jobs)
+	}
+	waves, ok := r.partition(jobs)
+	if !ok {
+		// Degenerate partition (every wave a single job): the batch is a
+		// serial chain, skip the worker machinery.
+		return r.routeJobsSerial(jobs)
+	}
+
+	// Workers are allocated per batch, not cached on the Router: their
+	// scratch is sized to the full grid (~24 bytes/node each), and routers
+	// live as long as their Designs — which suite caches retain. Paying
+	// the allocation on each of a build's few batched calls beats pinning
+	// hundreds of MB to every superblue-scale design in a suite.
+	workers := make([]*worker, 0, p)
+	rns := make([]*RoutedNet, len(jobs))
+	errs := make([]error, len(jobs))
+	// committed tracks (job index, replaced route) for rollback: when any
+	// job escapes its declared region the whole batch restarts serially.
+	type commitRec struct {
+		id  int
+		old *RoutedNet
+	}
+	var committed []commitRec
+	rollback := func() {
+		// Reverse order, so a net committed twice in one batch unwinds to
+		// its pre-batch route.
+		for k := len(committed) - 1; k >= 0; k-- {
+			c := committed[k]
+			r.ripUp(r.nets[c.id])
+			if c.old != nil {
+				// The old route's edges were snapshotted before the commit
+				// that replaced it; restore them and their usage.
+				r.nets[c.id] = c.old
+				for _, e := range c.old.Edges {
+					r.addUsage(e, 1)
+				}
+			} else {
+				delete(r.nets, c.id)
+			}
+		}
+	}
+
+	for wi, wv := range waves {
+		start := time.Now()
+		if len(wv.jobs) == 1 {
+			ji := wv.jobs[0]
+			j := jobs[ji]
+			rns[ji], errs[ji] = r.serial.routeNet(j.ID, j.Pins, j.MinLayer, r.nets[j.ID], &wv.regions[0])
+		} else {
+			pw := p
+			if pw > len(wv.jobs) {
+				pw = len(wv.jobs)
+			}
+			for len(workers) < pw {
+				workers = append(workers, newWorker(r))
+			}
+			var next int32
+			var wg sync.WaitGroup
+			for k := 0; k < pw; k++ {
+				wg.Add(1)
+				go func(w *worker) {
+					defer wg.Done()
+					for {
+						t := int(atomic.AddInt32(&next, 1)) - 1
+						if t >= len(wv.jobs) {
+							return
+						}
+						ji := wv.jobs[t]
+						j := jobs[ji]
+						rns[ji], errs[ji] = w.routeNet(j.ID, j.Pins, j.MinLayer, r.nets[j.ID], &wv.regions[t])
+					}
+				}(workers[k])
+			}
+			wg.Wait()
+		}
+		// Any escape poisons every concurrent result: roll back and route
+		// the whole batch serially. (Escape is deterministic: until one
+		// occurs, every routed job saw exactly the serial schedule's state,
+		// so a batch escapes in parallel iff its serial schedule would
+		// trigger a detour retry or region drift.)
+		for _, ji := range wv.jobs {
+			if errors.Is(errs[ji], errEscaped) {
+				rollback()
+				return r.routeJobsSerial(jobs)
+			}
+		}
+		// Commit in job order. Same-wave jobs cannot interact, so this
+		// yields the serial schedule's state exactly.
+		for _, ji := range wv.jobs {
+			j := jobs[ji]
+			old := r.nets[j.ID]
+			if errs[ji] != nil {
+				if old == nil {
+					r.nets[j.ID] = rns[ji]
+				}
+				return &JobError{Index: ji, ID: j.ID, Err: errs[ji]}
+			}
+			// Snapshot the old edges before commit rips them up, so a later
+			// escape can restore them.
+			var snap *RoutedNet
+			if old != nil {
+				snap = &RoutedNet{ID: old.ID, Pins: old.Pins, Edges: old.Edges, MinLayer: old.MinLayer, Failed: old.Failed}
+			}
+			r.commit(rns[ji], old)
+			committed = append(committed, commitRec{id: j.ID, old: snap})
+		}
+		if r.Opt.OnWave != nil && len(wv.jobs) > 1 {
+			r.Opt.OnWave(wi+1, len(waves), len(wv.jobs), time.Since(start))
+		}
+	}
+	return nil
+}
+
+func (r *Router) routeJobsSerial(jobs []Job) error {
+	for i, j := range jobs {
+		if err := r.RouteNet(j.ID, j.Pins, j.MinLayer); err != nil {
+			return &JobError{Index: i, ID: j.ID, Err: err}
+		}
+	}
+	return nil
+}
+
+// wave is one parallel step of a batch: job indices in job order plus each
+// job's declared region (parallel slices).
+type wave struct {
+	jobs    []int
+	regions []region
+}
+
+// partition assigns every job a wave level such that (a) two jobs whose
+// declared regions overlap always land in different waves with the
+// earlier job first, and (b) jobs within a wave are pairwise disjoint.
+// Levels come from per-tile chains: each job depends on the last previous
+// job sharing any of its tiles — a superset of true region overlaps
+// (overlapping regions share at least one tile), computed in linear time.
+// ok is false when the partition is fully serial (no wave holds two jobs).
+func (r *Router) partition(jobs []Job) ([]wave, bool) {
+	// Duplicate IDs inside one batch invalidate the up-front regions: the
+	// later job would rip up whatever route the earlier one commits
+	// mid-batch, which the pre-batch state cannot predict. No pipeline
+	// caller does this; route such a batch serially.
+	ids := make(map[int]bool, len(jobs))
+	for _, j := range jobs {
+		if ids[j.ID] {
+			return nil, false
+		}
+		ids[j.ID] = true
+	}
+	regions := make([]region, len(jobs))
+	levels := make([]int, len(jobs))
+	numLevels := 0
+	last := map[[2]int]int{} // tile -> last job index covering it
+	for i, j := range jobs {
+		reg, interacts := r.declaredRegion(j)
+		regions[i] = reg
+		lvl := 0
+		if interacts {
+			for ty := reg.loY / waveTileGCells; ty <= reg.hiY/waveTileGCells; ty++ {
+				for tx := reg.loX / waveTileGCells; tx <= reg.hiX/waveTileGCells; tx++ {
+					if p, ok := last[[2]int{tx, ty}]; ok && levels[p]+1 > lvl {
+						lvl = levels[p] + 1
+					}
+				}
+			}
+			for ty := reg.loY / waveTileGCells; ty <= reg.hiY/waveTileGCells; ty++ {
+				for tx := reg.loX / waveTileGCells; tx <= reg.hiX/waveTileGCells; tx++ {
+					last[[2]int{tx, ty}] = i
+				}
+			}
+		}
+		levels[i] = lvl
+		if lvl+1 > numLevels {
+			numLevels = lvl + 1
+		}
+	}
+	if numLevels >= len(jobs) {
+		return nil, false
+	}
+	waves := make([]wave, numLevels)
+	for i, lvl := range levels {
+		waves[lvl].jobs = append(waves[lvl].jobs, i)
+		waves[lvl].regions = append(waves[lvl].regions, regions[i])
+	}
+	return waves, true
+}
+
+// declaredRegion is the spatial bound job searches must stay within when
+// routed concurrently: the bounding box of its pins and any existing route
+// being replaced, expanded by MaxDetour gcells per sink (each sink's
+// search can expand the tree's bounding box by one first-attempt detour).
+// interacts is false only for jobs that neither read nor write congestion
+// state: single-pin jobs with no existing route to rip up. A single-pin
+// job replacing a routed net interacts — its commit decrements usage
+// across the old route's region — but needs no detour margin, since it
+// performs no searches.
+func (r *Router) declaredRegion(j Job) (region, bool) {
+	g := r.Grid
+	n0 := g.NodeOf(j.Pins[0].Pt, j.Pins[0].Layer)
+	reg := region{loX: n0.X, loY: n0.Y, hiX: n0.X, hiY: n0.Y}
+	grow := func(x, y int) {
+		if x < reg.loX {
+			reg.loX = x
+		}
+		if y < reg.loY {
+			reg.loY = y
+		}
+		if x > reg.hiX {
+			reg.hiX = x
+		}
+		if y > reg.hiY {
+			reg.hiY = y
+		}
+	}
+	for _, p := range j.Pins[1:] {
+		n := g.NodeOf(p.Pt, p.Layer)
+		grow(n.X, n.Y)
+	}
+	interacts := len(j.Pins) > 1
+	if old := r.nets[j.ID]; old != nil && len(old.Edges) > 0 {
+		interacts = true
+		for _, e := range old.Edges {
+			grow(e.A.X, e.A.Y)
+			grow(e.B.X, e.B.Y)
+		}
+	}
+	if !interacts {
+		return reg, false
+	}
+	if k := len(j.Pins) - 1; k > 0 {
+		m := r.Opt.MaxDetour * k
+		reg.loX = geom.Clamp(reg.loX-m, 0, g.W-1)
+		reg.loY = geom.Clamp(reg.loY-m, 0, g.H-1)
+		reg.hiX = geom.Clamp(reg.hiX+m, 0, g.W-1)
+		reg.hiY = geom.Clamp(reg.hiY+m, 0, g.H-1)
+	}
+	return reg, true
+}

@@ -10,11 +10,17 @@
 // per-layer wirelength (Fig. 5), per-boundary via counts V12..V910
 // (Tables 2 and 6), and the routed topology from which the layout package
 // derives FEOL fragments, vpins, and dangling-wire directions.
+//
+// Routing is incremental (RouteNet/RipUp, the ECO mode the BEOL
+// restoration uses) or batched (RouteJobs): a batch is partitioned into
+// deterministic waves of spatially disjoint nets that route concurrently
+// on worker-local scratch and commit in serial order, producing
+// byte-identical results at every parallelism level — see batch.go.
 package route
 
 import (
 	"fmt"
-	"sort"
+	"time"
 
 	"splitmfg/internal/geom"
 	"splitmfg/internal/heapx"
@@ -92,9 +98,23 @@ func Horizontal(z int) bool { return z%2 == 1 }
 // Options tunes the router.
 type Options struct {
 	ViaCost     int     // cost of one via step relative to gcell length; 0 = default
-	Capacity    int     // tracks per gcell edge per layer; 0 = default (10)
+	Capacity    int     // tracks per gcell edge per layer; 0 = derived from the gcell pitch (see NewRouter)
 	HistoryCost float64 // congestion penalty weight; 0 = default (2.0)
 	MaxDetour   int     // extra gcells allowed around the bbox; 0 = default (12)
+
+	// Parallelism is the worker count for batched routing (RouteJobs):
+	// 0 uses GOMAXPROCS, 1 forces serial execution. Results are
+	// byte-identical at every level. Incremental RouteNet calls are always
+	// serial regardless of this setting.
+	Parallelism int
+
+	// OnWave, when non-nil, is called after each committed multi-net wave
+	// of a parallel batch with the 1-based wave number, the total wave
+	// count, the number of nets the wave routed, and its wall-clock
+	// duration. Waves that route a single net are silent (they are the
+	// serial portions of the schedule), as are fully serial batches
+	// (Parallelism 1, degenerate partitions, or the escape fallback).
+	OnWave func(wave, waves, nets int, elapsed time.Duration)
 }
 
 func (o Options) withDefaults() Options {
@@ -142,19 +162,14 @@ type Router struct {
 	usageV []int32 // vertical segment usage
 	nets   map[int]*RoutedNet
 
-	// scratch for A*, reused across RouteNet calls so steady-state routing
-	// does not allocate per search
-	dist    []int64
-	visitID []int32
-	from    []int32
-	epoch   int32
-	pqBuf   []pqItem
-	seedBuf []int32
+	// serial is the scratch worker incremental RouteNet calls route on;
+	// batched routing spins up additional workers (see batch.go).
+	serial *worker
 }
 
 // NewRouter creates a router over the grid. When Options.Capacity is zero
 // it defaults to the physical track count of the gcell pitch (one routing
-// track per ~280nm at 45nm-class metal pitches), so fine grids are
+// track per ~190nm at 45nm-class metal pitches), so fine grids are
 // realistically tight and congestion pushes wiring upward exactly as in
 // commercial flows.
 func NewRouter(grid Grid, opt Options) *Router {
@@ -165,16 +180,15 @@ func NewRouter(grid Grid, opt Options) *Router {
 		}
 	}
 	n := grid.W * grid.H * (grid.Layers + 1)
-	return &Router{
-		Grid:    grid,
-		Opt:     opt.withDefaults(),
-		usageH:  make([]int32, n),
-		usageV:  make([]int32, n),
-		nets:    make(map[int]*RoutedNet),
-		dist:    make([]int64, n),
-		visitID: make([]int32, n),
-		from:    make([]int32, n),
+	r := &Router{
+		Grid:   grid,
+		Opt:    opt.withDefaults(),
+		usageH: make([]int32, n),
+		usageV: make([]int32, n),
+		nets:   make(map[int]*RoutedNet),
 	}
+	r.serial = newWorker(r)
+	return r
 }
 
 func (r *Router) idx(n Node) int32 {
@@ -215,6 +229,11 @@ func (r *Router) Net(id int) *RoutedNet { return r.nets[id] }
 // only vertical via climbs are permitted, so every pin connects upward to
 // the trunk. Routing is A*-based per sink with the growing tree as the
 // source frontier.
+//
+// The route is computed first and committed only on success: a failed
+// re-route leaves the net's existing route fully intact, and a failed
+// fresh route records a Failed marker with no edges — partial trees never
+// occupy capacity or leak into ComputeStats/Validate.
 func (r *Router) RouteNet(id int, pins []Pin, minLayer int) error {
 	if len(pins) == 0 {
 		return fmt.Errorf("route: net %d has no pins", id)
@@ -222,57 +241,28 @@ func (r *Router) RouteNet(id int, pins []Pin, minLayer int) error {
 	if minLayer > r.Grid.Layers {
 		return fmt.Errorf("route: net %d lift layer M%d above top layer M%d", id, minLayer, r.Grid.Layers)
 	}
-	if old := r.nets[id]; old != nil {
+	old := r.nets[id]
+	rn, err := r.serial.routeNet(id, pins, minLayer, old, nil)
+	if err != nil {
+		if old == nil {
+			r.nets[id] = rn // failed marker: no edges, no usage
+		}
+		return err
+	}
+	r.commit(rn, old)
+	return nil
+}
+
+// commit installs a freshly routed net: the old route (if any) is ripped
+// up and the new edges take its place in the usage maps.
+func (r *Router) commit(rn *RoutedNet, old *RoutedNet) {
+	if old != nil {
 		r.ripUp(old)
 	}
-	rn := &RoutedNet{ID: id, Pins: append([]Pin(nil), pins...), MinLayer: minLayer}
-	r.nets[id] = rn
-	if len(pins) == 1 {
-		return nil
+	r.nets[rn.ID] = rn
+	for _, e := range rn.Edges {
+		r.addUsage(e, 1)
 	}
-	wireMin := 2
-	if minLayer > wireMin {
-		wireMin = minLayer
-	}
-
-	// Tree nodes so far (as indices); start from pin 0's grid node.
-	tree := map[int32]bool{}
-	start := r.Grid.NodeOf(pins[0].Pt, pins[0].Layer)
-	tree[r.idx(start)] = true
-
-	// Route sinks nearest-first to keep trees short.
-	order := make([]int, 0, len(pins)-1)
-	for i := 1; i < len(pins); i++ {
-		order = append(order, i)
-	}
-	for i := 0; i < len(order); i++ {
-		best := i
-		for j := i + 1; j < len(order); j++ {
-			if pins[order[j]].Pt.Manhattan(pins[0].Pt) < pins[order[best]].Pt.Manhattan(pins[0].Pt) {
-				best = j
-			}
-		}
-		order[i], order[best] = order[best], order[i]
-	}
-
-	for _, pi := range order {
-		target := r.Grid.NodeOf(pins[pi].Pt, pins[pi].Layer)
-		if tree[r.idx(target)] {
-			continue
-		}
-		path, err := r.search(tree, target, wireMin)
-		if err != nil {
-			rn.Failed = true
-			return fmt.Errorf("route: net %d sink %d: %v", id, pi, err)
-		}
-		for _, e := range path {
-			rn.Edges = append(rn.Edges, e)
-			r.addUsage(e, 1)
-			tree[r.idx(e.A)] = true
-			tree[r.idx(e.B)] = true
-		}
-	}
-	return nil
 }
 
 // RipUp removes a routed net, releasing its routing resources.
@@ -305,162 +295,14 @@ func (r *Router) addUsage(e Edge, d int32) {
 	}
 }
 
-// edgeCost returns the cost of moving across one wire segment with the
-// current congestion, or a via step.
-func (r *Router) segCost(lo Node, horizontal bool) int64 {
-	var u int32
-	if horizontal {
-		u = r.usageH[r.idx(lo)]
-	} else {
-		u = r.usageV[r.idx(lo)]
-	}
-	// Commercial routers fill the cheap lower layers first and only climb
-	// under congestion or length pressure; the per-layer bias reproduces
-	// the paper's Fig. 5 "Original" wirelength profile (most wiring low).
-	base := int64(10 + 10*(lo.Z-2))
-	if lo.Z < 2 {
-		base = 10
-	}
-	over := int(u) - r.Opt.Capacity
-	if over < 0 {
-		// Mild pressure as the edge fills up.
-		return base + int64(u)/2
-	}
-	return base + int64(float64(base)*r.Opt.HistoryCost*float64(over+1))
-}
+const viaBase = 10 // via cost = viaBase * Opt.ViaCost / 4
 
-const viaBase = 10 // via cost = viaBase * Opt.ViaCost / 4 scaled below
-
-func (r *Router) viaCost() int64 { return int64(10 * r.Opt.ViaCost / 4) }
+func (r *Router) viaCost() int64 { return int64(viaBase * r.Opt.ViaCost / 4) }
 
 // pqItem is a priority-queue entry for A*: Pri is the f-score, Value the
 // grid-node index. heapx gives a typed slice heap — no interface{} boxing
 // or indirect dispatch on the router's hottest path.
 type pqItem = heapx.Item[int32]
-
-// search runs A* from the tree frontier to the target node. Wire moves are
-// restricted to layers >= wireMin in the layer's preferred direction; via
-// moves are always allowed. The search region is the bounding box of the
-// tree and target expanded by MaxDetour gcells (retried once at 4x).
-func (r *Router) search(tree map[int32]bool, target Node, wireMin int) ([]Edge, error) {
-	for attempt, detour := range []int{r.Opt.MaxDetour, r.Opt.MaxDetour * 4} {
-		edges, ok := r.searchBounded(tree, target, wireMin, detour)
-		if ok {
-			return edges, nil
-		}
-		_ = attempt
-	}
-	return nil, fmt.Errorf("no path to %v (wireMin=M%d)", target, wireMin)
-}
-
-func (r *Router) searchBounded(tree map[int32]bool, target Node, wireMin, detour int) ([]Edge, bool) {
-	g := r.Grid
-	// Bounding region.
-	loX, loY := target.X, target.Y
-	hiX, hiY := target.X, target.Y
-	for t := range tree {
-		n := r.node(t)
-		if n.X < loX {
-			loX = n.X
-		}
-		if n.Y < loY {
-			loY = n.Y
-		}
-		if n.X > hiX {
-			hiX = n.X
-		}
-		if n.Y > hiY {
-			hiY = n.Y
-		}
-	}
-	loX = geom.Clamp(loX-detour, 0, g.W-1)
-	loY = geom.Clamp(loY-detour, 0, g.H-1)
-	hiX = geom.Clamp(hiX+detour, 0, g.W-1)
-	hiY = geom.Clamp(hiY+detour, 0, g.H-1)
-
-	r.epoch++
-	ep := r.epoch
-	tIdx := r.idx(target)
-
-	h := func(i int32) int64 {
-		n := r.node(i)
-		dx := int64(absInt(n.X - target.X))
-		dy := int64(absInt(n.Y - target.Y))
-		dz := int64(absInt(n.Z - target.Z))
-		return (dx+dy)*10 + dz*r.viaCost()
-	}
-	// Seed the frontier in sorted node order: map iteration order would
-	// otherwise leak into equal-cost tie-breaks and make routing
-	// nondeterministic across runs.
-	seeds := r.seedBuf[:0]
-	for t := range tree {
-		seeds = append(seeds, t)
-	}
-	sort.Slice(seeds, func(i, j int) bool { return seeds[i] < seeds[j] })
-	r.seedBuf = seeds
-	q := r.pqBuf[:0]
-	defer func() { r.pqBuf = q }()
-	for _, t := range seeds {
-		r.dist[t] = 0
-		r.visitID[t] = ep
-		r.from[t] = -1
-		q = heapx.Push(q, pqItem{Pri: h(t), Value: t})
-	}
-	relax := func(cur int32, next Node, cost int64) {
-		ni := r.idx(next)
-		nd := r.dist[cur] + cost
-		if r.visitID[ni] != ep || nd < r.dist[ni] {
-			r.visitID[ni] = ep
-			r.dist[ni] = nd
-			r.from[ni] = cur
-			q = heapx.Push(q, pqItem{Pri: nd + h(ni), Value: ni})
-		}
-	}
-	for len(q) > 0 {
-		var it pqItem
-		q, it = heapx.Pop(q)
-		cur := it.Value
-		if r.visitID[cur] != ep || it.Pri > r.dist[cur]+h(cur) {
-			continue // stale entry
-		}
-		if cur == tIdx {
-			// Reconstruct path back to the tree.
-			var edges []Edge
-			for i := cur; r.from[i] >= 0; i = r.from[i] {
-				edges = append(edges, Edge{A: r.node(r.from[i]), B: r.node(i)})
-			}
-			return edges, true
-		}
-		n := r.node(cur)
-		// Via moves.
-		if n.Z < g.Layers {
-			relax(cur, Node{n.X, n.Y, n.Z + 1}, r.viaCost())
-		}
-		if n.Z > 1 {
-			relax(cur, Node{n.X, n.Y, n.Z - 1}, r.viaCost())
-		}
-		// Wire moves (preferred direction, within bounds, above wireMin).
-		if n.Z >= wireMin {
-			if Horizontal(n.Z) {
-				if n.X > loX {
-					relax(cur, Node{n.X - 1, n.Y, n.Z}, r.segCost(Node{n.X - 1, n.Y, n.Z}, true))
-				}
-				if n.X < hiX {
-					relax(cur, Node{n.X + 1, n.Y, n.Z}, r.segCost(n, true))
-				}
-			} else {
-				if n.Y > loY {
-					relax(cur, Node{n.X, n.Y - 1, n.Z}, r.segCost(Node{n.X, n.Y - 1, n.Z}, false))
-				}
-				if n.Y < hiY {
-					relax(cur, Node{n.X, n.Y + 1, n.Z}, r.segCost(n, false))
-				}
-			}
-		}
-		_ = viaBase
-	}
-	return nil, false
-}
 
 func absInt(x int) int {
 	if x < 0 {
@@ -597,7 +439,14 @@ func adjacent(a, b Node) bool {
 // history cost, for up to the given number of iterations or until no
 // overflow remains. This is the rip-up-and-reroute loop every production
 // global router runs to reach a DRC-clean (capacity-respecting) result.
+//
+// The escalation is local to the negotiation: Opt.HistoryCost is restored
+// on return, so later RouteNet calls on the same router see the
+// configured weight, not a compounded one. A net whose re-route fails
+// keeps its previous (congested but valid) route.
 func (r *Router) NegotiateReroute(iters int) {
+	orig := r.Opt.HistoryCost
+	defer func() { r.Opt.HistoryCost = orig }()
 	for it := 0; it < iters; it++ {
 		over := map[int]bool{}
 		for id, rn := range r.nets {
@@ -632,12 +481,10 @@ func (r *Router) NegotiateReroute(iters int) {
 		r.Opt.HistoryCost *= 1.8
 		for _, id := range ids {
 			rn := r.nets[id]
-			pins := rn.Pins
-			minLayer := rn.MinLayer
-			if err := r.RouteNet(id, pins, minLayer); err != nil {
-				// Keep the old route on failure (RouteNet already ripped it
-				// up; re-route unconstrained by marking failed).
-				rn.Failed = true
+			if err := r.RouteNet(id, rn.Pins, rn.MinLayer); err != nil {
+				// RouteNet left the old route fully intact; keep it — a
+				// congested route beats a destroyed one.
+				continue
 			}
 		}
 	}

@@ -1,0 +1,345 @@
+package route
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"splitmfg/internal/geom"
+	"splitmfg/internal/heapx"
+)
+
+// errEscaped marks a batched route whose search wanted to leave the
+// spatial region its wave partition declared for it (a detour retry or an
+// unusually drifting multi-sink tree). The result cannot be proven
+// order-independent, so the batch discards all concurrent work and falls
+// back to serial routing — which is where this error is resolved for real
+// (either the retry succeeds or the net genuinely fails).
+var errEscaped = errors.New("route: search escaped its wave region")
+
+// worker holds everything one routing computation needs besides the
+// shared usage arrays: the A* scratch (reused across searches so
+// steady-state routing does not allocate) and a usage-delta overlay that
+// stands in for the usual rip-up-then-commit mutation of shared state.
+//
+// The overlay is the key to both deterministic parallelism and safe
+// failure handling: a route is computed against usageH/usageV *plus* the
+// worker's private delta (the net's own edges so far at +1, the old route
+// being replaced at -1), so shared state is never touched until the route
+// is known to be complete. Workers of one wave only read shared usage in
+// pairwise-disjoint regions, which is what makes concurrent routing
+// byte-identical to serial routing.
+type worker struct {
+	r *Router
+
+	// A* scratch, reused across searches.
+	dist    []int64
+	visitID []int32
+	from    []int32
+	epoch   int32
+	pqBuf   []pqItem
+	seedBuf []int32
+
+	// Usage overlay for the net currently being routed.
+	deltaH   []int32
+	deltaV   []int32
+	touchedH []int32
+	touchedV []int32
+}
+
+func newWorker(r *Router) *worker {
+	n := len(r.usageH)
+	return &worker{
+		r:       r,
+		dist:    make([]int64, n),
+		visitID: make([]int32, n),
+		from:    make([]int32, n),
+		deltaH:  make([]int32, n),
+		deltaV:  make([]int32, n),
+	}
+}
+
+// reset clears the usage overlay for the next net.
+func (w *worker) reset() {
+	for _, i := range w.touchedH {
+		w.deltaH[i] = 0
+	}
+	for _, i := range w.touchedV {
+		w.deltaV[i] = 0
+	}
+	w.touchedH = w.touchedH[:0]
+	w.touchedV = w.touchedV[:0]
+}
+
+// addDelta records one edge in the overlay (the in-flight equivalent of
+// Router.addUsage).
+func (w *worker) addDelta(e Edge, d int32) {
+	if e.IsVia() {
+		return
+	}
+	lo := e.A
+	if e.B.X < lo.X || e.B.Y < lo.Y {
+		lo = e.B
+	}
+	i := w.r.idx(lo)
+	if e.A.Y == e.B.Y && e.A.X != e.B.X {
+		if w.deltaH[i] == 0 {
+			w.touchedH = append(w.touchedH, i)
+		}
+		w.deltaH[i] += d
+	} else {
+		if w.deltaV[i] == 0 {
+			w.touchedV = append(w.touchedV, i)
+		}
+		w.deltaV[i] += d
+	}
+}
+
+// segCost returns the cost of moving across one wire segment with the
+// current congestion (shared usage plus the worker's overlay).
+func (w *worker) segCost(lo Node, horizontal bool) int64 {
+	r := w.r
+	i := r.idx(lo)
+	var u int32
+	if horizontal {
+		u = r.usageH[i] + w.deltaH[i]
+	} else {
+		u = r.usageV[i] + w.deltaV[i]
+	}
+	// Commercial routers fill the cheap lower layers first and only climb
+	// under congestion or length pressure; the per-layer bias reproduces
+	// the paper's Fig. 5 "Original" wirelength profile (most wiring low).
+	base := int64(10 + 10*(lo.Z-2))
+	if lo.Z < 2 {
+		base = 10
+	}
+	over := int(u) - r.Opt.Capacity
+	if over < 0 {
+		// Mild pressure as the edge fills up.
+		return base + int64(u)/2
+	}
+	return base + int64(float64(base)*r.Opt.HistoryCost*float64(over+1))
+}
+
+// routeNet computes a route for the net without touching shared router
+// state. old, when non-nil, is the net's existing route: its usage is
+// masked out through the overlay, exactly as if it had been ripped up
+// first. bound, when non-nil, restricts every search to the given gcell
+// region (batched parallel mode): a search that would expand beyond it —
+// including the 4x detour retry — aborts with errEscaped instead, so a
+// result that might depend on concurrent neighbors is never produced.
+//
+// On success the returned net carries the new edges and the caller
+// commits them; on failure it is marked Failed with no edges, and shared
+// state is untouched either way.
+func (w *worker) routeNet(id int, pins []Pin, minLayer int, old *RoutedNet, bound *region) (*RoutedNet, error) {
+	defer w.reset()
+	if old != nil {
+		for _, e := range old.Edges {
+			w.addDelta(e, -1)
+		}
+	}
+	rn := &RoutedNet{ID: id, Pins: append([]Pin(nil), pins...), MinLayer: minLayer}
+	if len(pins) == 1 {
+		return rn, nil
+	}
+	wireMin := 2
+	if minLayer > wireMin {
+		wireMin = minLayer
+	}
+
+	// Tree nodes so far (as indices); start from pin 0's grid node.
+	tree := map[int32]bool{}
+	start := w.r.Grid.NodeOf(pins[0].Pt, pins[0].Layer)
+	tree[w.r.idx(start)] = true
+
+	// Route sinks nearest-first to keep trees short.
+	order := make([]int, 0, len(pins)-1)
+	for i := 1; i < len(pins); i++ {
+		order = append(order, i)
+	}
+	for i := 0; i < len(order); i++ {
+		best := i
+		for j := i + 1; j < len(order); j++ {
+			if pins[order[j]].Pt.Manhattan(pins[0].Pt) < pins[order[best]].Pt.Manhattan(pins[0].Pt) {
+				best = j
+			}
+		}
+		order[i], order[best] = order[best], order[i]
+	}
+
+	for _, pi := range order {
+		target := w.r.Grid.NodeOf(pins[pi].Pt, pins[pi].Layer)
+		if tree[w.r.idx(target)] {
+			continue
+		}
+		path, err := w.search(tree, target, wireMin, bound)
+		if err != nil {
+			rn.Failed = true
+			rn.Edges = nil
+			if errors.Is(err, errEscaped) {
+				return rn, err
+			}
+			return rn, fmt.Errorf("route: net %d sink %d: %v", id, pi, err)
+		}
+		for _, e := range path {
+			rn.Edges = append(rn.Edges, e)
+			w.addDelta(e, 1)
+			tree[w.r.idx(e.A)] = true
+			tree[w.r.idx(e.B)] = true
+		}
+	}
+	return rn, nil
+}
+
+// search runs A* from the tree frontier to the target node. Wire moves are
+// restricted to layers >= wireMin in the layer's preferred direction; via
+// moves are always allowed. The search region is the bounding box of the
+// tree and target expanded by MaxDetour gcells, retried once at 4x detour
+// — except in bounded mode, where any region not contained in bound
+// (including the retry) aborts with errEscaped.
+func (w *worker) search(tree map[int32]bool, target Node, wireMin int, bound *region) ([]Edge, error) {
+	for _, detour := range []int{w.r.Opt.MaxDetour, w.r.Opt.MaxDetour * 4} {
+		reg := w.searchRegion(tree, target, detour)
+		if bound != nil && !bound.contains(reg) {
+			return nil, errEscaped
+		}
+		edges, ok := w.searchBounded(tree, target, wireMin, reg)
+		if ok {
+			return edges, nil
+		}
+		if bound != nil {
+			// Never enter the 4x retry concurrently: its region almost
+			// certainly leaves the declared wave partition, and whether the
+			// first attempt fails is itself order-independent only within
+			// the declared region.
+			return nil, errEscaped
+		}
+	}
+	return nil, fmt.Errorf("no path to %v (wireMin=M%d)", target, wireMin)
+}
+
+// region is an inclusive gcell rectangle.
+type region struct {
+	loX, loY, hiX, hiY int
+}
+
+func (a region) contains(b region) bool {
+	return b.loX >= a.loX && b.loY >= a.loY && b.hiX <= a.hiX && b.hiY <= a.hiY
+}
+
+// searchRegion is the clamped bounding box of the tree and target expanded
+// by detour gcells.
+func (w *worker) searchRegion(tree map[int32]bool, target Node, detour int) region {
+	g := w.r.Grid
+	loX, loY := target.X, target.Y
+	hiX, hiY := target.X, target.Y
+	for t := range tree {
+		n := w.r.node(t)
+		if n.X < loX {
+			loX = n.X
+		}
+		if n.Y < loY {
+			loY = n.Y
+		}
+		if n.X > hiX {
+			hiX = n.X
+		}
+		if n.Y > hiY {
+			hiY = n.Y
+		}
+	}
+	return region{
+		loX: geom.Clamp(loX-detour, 0, g.W-1),
+		loY: geom.Clamp(loY-detour, 0, g.H-1),
+		hiX: geom.Clamp(hiX+detour, 0, g.W-1),
+		hiY: geom.Clamp(hiY+detour, 0, g.H-1),
+	}
+}
+
+func (w *worker) searchBounded(tree map[int32]bool, target Node, wireMin int, reg region) ([]Edge, bool) {
+	g := w.r.Grid
+	loX, loY, hiX, hiY := reg.loX, reg.loY, reg.hiX, reg.hiY
+
+	w.epoch++
+	ep := w.epoch
+	tIdx := w.r.idx(target)
+
+	h := func(i int32) int64 {
+		n := w.r.node(i)
+		dx := int64(absInt(n.X - target.X))
+		dy := int64(absInt(n.Y - target.Y))
+		dz := int64(absInt(n.Z - target.Z))
+		return (dx+dy)*10 + dz*w.r.viaCost()
+	}
+	// Seed the frontier in sorted node order: map iteration order would
+	// otherwise leak into equal-cost tie-breaks and make routing
+	// nondeterministic across runs.
+	seeds := w.seedBuf[:0]
+	for t := range tree {
+		seeds = append(seeds, t)
+	}
+	sort.Slice(seeds, func(i, j int) bool { return seeds[i] < seeds[j] })
+	w.seedBuf = seeds
+	q := w.pqBuf[:0]
+	defer func() { w.pqBuf = q }()
+	for _, t := range seeds {
+		w.dist[t] = 0
+		w.visitID[t] = ep
+		w.from[t] = -1
+		q = heapx.Push(q, pqItem{Pri: h(t), Value: t})
+	}
+	relax := func(cur int32, next Node, cost int64) {
+		ni := w.r.idx(next)
+		nd := w.dist[cur] + cost
+		if w.visitID[ni] != ep || nd < w.dist[ni] {
+			w.visitID[ni] = ep
+			w.dist[ni] = nd
+			w.from[ni] = cur
+			q = heapx.Push(q, pqItem{Pri: nd + h(ni), Value: ni})
+		}
+	}
+	for len(q) > 0 {
+		var it pqItem
+		q, it = heapx.Pop(q)
+		cur := it.Value
+		if w.visitID[cur] != ep || it.Pri > w.dist[cur]+h(cur) {
+			continue // stale entry
+		}
+		if cur == tIdx {
+			// Reconstruct path back to the tree.
+			var edges []Edge
+			for i := cur; w.from[i] >= 0; i = w.from[i] {
+				edges = append(edges, Edge{A: w.r.node(w.from[i]), B: w.r.node(i)})
+			}
+			return edges, true
+		}
+		n := w.r.node(cur)
+		// Via moves.
+		if n.Z < g.Layers {
+			relax(cur, Node{n.X, n.Y, n.Z + 1}, w.r.viaCost())
+		}
+		if n.Z > 1 {
+			relax(cur, Node{n.X, n.Y, n.Z - 1}, w.r.viaCost())
+		}
+		// Wire moves (preferred direction, within bounds, above wireMin).
+		if n.Z >= wireMin {
+			if Horizontal(n.Z) {
+				if n.X > loX {
+					relax(cur, Node{n.X - 1, n.Y, n.Z}, w.segCost(Node{n.X - 1, n.Y, n.Z}, true))
+				}
+				if n.X < hiX {
+					relax(cur, Node{n.X + 1, n.Y, n.Z}, w.segCost(n, true))
+				}
+			} else {
+				if n.Y > loY {
+					relax(cur, Node{n.X, n.Y - 1, n.Z}, w.segCost(Node{n.X, n.Y - 1, n.Z}, false))
+				}
+				if n.Y < hiY {
+					relax(cur, Node{n.X, n.Y + 1, n.Z}, w.segCost(n, false))
+				}
+			}
+		}
+	}
+	return nil, false
+}

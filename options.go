@@ -17,6 +17,7 @@ type pipelineConfig struct {
 	replicates   int
 	maxAttempts  int
 	parallelism  int
+	routePar     int
 	progress     ProgressFunc
 }
 
@@ -113,6 +114,17 @@ func WithMaxAttempts(n int) Option {
 // at every parallelism level.
 func WithParallelism(n int) Option {
 	return func(c *pipelineConfig) { c.parallelism = n }
+}
+
+// WithRouteParallelism sets how many workers route spatially disjoint nets
+// concurrently inside each place-and-route (default: GOMAXPROCS for the
+// single-design entry points, the job's share of WithParallelism for
+// Matrix/Suite; 1 forces serial routing). The router partitions each
+// design's net list into deterministic waves of non-interacting nets and
+// commits results in serial order, so layouts — and every report derived
+// from them — are byte-identical at every parallelism level.
+func WithRouteParallelism(n int) Option {
+	return func(c *pipelineConfig) { c.routePar = n }
 }
 
 // WithProgress installs a progress hook receiving stage-completion events

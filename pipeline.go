@@ -15,6 +15,7 @@ import (
 	defengine "splitmfg/internal/defense/engine"
 	"splitmfg/internal/defense/randomize"
 	"splitmfg/internal/flow"
+	"splitmfg/internal/route"
 )
 
 // Pipeline is the package's entry point: a configured instance of the
@@ -61,6 +62,7 @@ func (p *Pipeline) flowConfig(d *Design) flow.Config {
 		PatternWords:     c.patternWords,
 		SplitLayers:      c.splitLayers,
 		MaxAttempts:      c.maxAttempts,
+		RouteParallelism: c.routePar,
 		Progress:         c.progress,
 	}
 	if fc.LiftLayer == 0 {
@@ -77,7 +79,8 @@ func (p *Pipeline) flowConfig(d *Design) flow.Config {
 
 func (p *Pipeline) corrOptions(d *Design) correction.Options {
 	fc := p.flowConfig(d)
-	return correction.Options{LiftLayer: fc.LiftLayer, UtilPercent: fc.UtilPercent, Seed: fc.Seed}
+	return correction.Options{LiftLayer: fc.LiftLayer, UtilPercent: fc.UtilPercent, Seed: fc.Seed,
+		RouteOpt: route.Options{Parallelism: fc.RouteParallelism}}
 }
 
 // Protect runs the full Fig.-2 protection flow on the design: randomize to
@@ -210,17 +213,18 @@ func (p *Pipeline) matrixOptions(d *Design) flow.MatrixOptions {
 	c := p.cfg
 	fc := p.flowConfig(d)
 	return flow.MatrixOptions{
-		Defenses:     c.defenses,
-		Attackers:    c.attackers,
-		SplitLayers:  c.splitLayers,
-		Seed:         c.seed,
-		PatternWords: c.patternWords,
-		Parallelism:  c.parallelism,
-		LiftLayer:    fc.LiftLayer,
-		UtilPercent:  fc.UtilPercent,
-		TargetOER:    c.targetOER,
-		Fraction:     c.fraction,
-		Progress:     c.progress,
+		Defenses:         c.defenses,
+		Attackers:        c.attackers,
+		SplitLayers:      c.splitLayers,
+		Seed:             c.seed,
+		PatternWords:     c.patternWords,
+		Parallelism:      c.parallelism,
+		LiftLayer:        fc.LiftLayer,
+		UtilPercent:      fc.UtilPercent,
+		TargetOER:        c.targetOER,
+		Fraction:         c.fraction,
+		RouteParallelism: c.routePar,
+		Progress:         c.progress,
 	}
 }
 
@@ -247,16 +251,17 @@ func (p *Pipeline) Suite(ctx context.Context, designs []*Design) (*SuiteReport, 
 func (p *Pipeline) suiteOptions(designs []*Design) flow.SuiteOptions {
 	c := p.cfg
 	opt := flow.SuiteOptions{
-		Defenses:     c.defenses,
-		Attackers:    c.attackers,
-		SplitLayers:  c.splitLayers,
-		Seed:         c.seed,
-		Replicates:   c.replicates,
-		PatternWords: c.patternWords,
-		Parallelism:  c.parallelism,
-		TargetOER:    c.targetOER,
-		Fraction:     c.fraction,
-		Progress:     c.progress,
+		Defenses:         c.defenses,
+		Attackers:        c.attackers,
+		SplitLayers:      c.splitLayers,
+		Seed:             c.seed,
+		Replicates:       c.replicates,
+		PatternWords:     c.patternWords,
+		Parallelism:      c.parallelism,
+		TargetOER:        c.targetOER,
+		Fraction:         c.fraction,
+		RouteParallelism: c.routePar,
+		Progress:         c.progress,
 	}
 	for _, d := range designs {
 		fc := p.flowConfig(d)
@@ -293,6 +298,10 @@ func (p *Pipeline) Baseline(ctx context.Context, d *Design) (*Layout, error) {
 		copt.Observe = func(stage string, elapsed time.Duration) {
 			fn(ProgressEvent{Stage: Stage(stage), Detail: "baseline", Elapsed: elapsed})
 		}
+		copt.RouteOpt.OnWave = func(wave, waves, nets int, elapsed time.Duration) {
+			fn(ProgressEvent{Stage: StageRouteWave, Elapsed: elapsed,
+				Detail: fmt.Sprintf("baseline wave %d/%d: %d nets", wave, waves, nets)})
+		}
 	}
 	bl, err := correction.BuildOriginal(d.nl, p.lib, copt)
 	if err != nil {
@@ -322,6 +331,10 @@ func (p *Pipeline) Randomized(ctx context.Context, d *Design) (*Layout, error) {
 	if fn := p.cfg.progress; fn != nil {
 		copt.Observe = func(stage string, elapsed time.Duration) {
 			fn(ProgressEvent{Stage: Stage(stage), Detail: "protected", Elapsed: elapsed})
+		}
+		copt.RouteOpt.OnWave = func(wave, waves, nets int, elapsed time.Duration) {
+			fn(ProgressEvent{Stage: StageRouteWave, Elapsed: elapsed,
+				Detail: fmt.Sprintf("protected wave %d/%d: %d nets", wave, waves, nets)})
 		}
 	}
 	pr, err := correction.BuildProtected(d.nl, r, p.lib, copt)
