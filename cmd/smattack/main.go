@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -26,13 +27,15 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "smattack:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("smattack", flag.ContinueOnError)
 	name := fs.String("bench", "c880", "benchmark name")
 	variant := fs.String("variant", "original", "original | proposed | lifted")
@@ -44,6 +47,7 @@ func run(args []string, stdout io.Writer) error {
 	seed := fs.Int64("seed", 1, "seed")
 	words := fs.Int("patterns", 0, "64-pattern words for OER/HD (default 256)")
 	jsonOut := fs.Bool("json", false, "emit the security report as JSON")
+	verbose := fs.Bool("v", false, "stream per-stage progress to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,14 +69,20 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	pipe := splitmfg.New(
+	opts := []splitmfg.Option{
 		splitmfg.WithSeed(*seed),
 		splitmfg.WithSplitLayers(layers...),
 		splitmfg.WithAttackers(engines...),
 		splitmfg.WithPatternWords(*words),
-	)
+	}
+	if *verbose {
+		opts = append(opts, splitmfg.WithProgress(splitmfg.ProgressLogger(os.Stderr)))
+	}
+	pipe := splitmfg.New(opts...)
+	if err := pipe.Validate(); err != nil {
+		return err
+	}
 
-	ctx := context.Background()
 	var l *splitmfg.Layout
 	switch *variant {
 	case "original":

@@ -1,13 +1,14 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestRunListAttackers(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-list"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-list"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"proximity", "crouting", "random", "greedy", "ensemble"} {
@@ -19,7 +20,7 @@ func TestRunListAttackers(t *testing.T) {
 
 func TestRunMultiAttacker(t *testing.T) {
 	var out strings.Builder
-	err := run([]string{"-bench", "c432", "-attacker", "random,greedy", "-patterns", "16"}, &out)
+	err := run(context.Background(), []string{"-bench", "c432", "-attacker", "random,greedy", "-patterns", "16"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +33,7 @@ func TestRunMultiAttacker(t *testing.T) {
 
 func TestRunCRoutingLegacy(t *testing.T) {
 	var out strings.Builder
-	err := run([]string{"-bench", "c432", "-attack", "crouting", "-split", "3"}, &out)
+	err := run(context.Background(), []string{"-bench", "c432", "-attack", "crouting", "-split", "3"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestRunErrors(t *testing.T) {
 	}
 	for _, args := range cases {
 		var out strings.Builder
-		if err := run(args, &out); err == nil {
+		if err := run(context.Background(), args, &out); err == nil {
 			t.Fatalf("run(%v) succeeded, want error", args)
 		}
 	}

@@ -27,7 +27,9 @@
 //
 // Ctrl-C cancels -matrix and -suite runs promptly; output for a benchmark
 // is only written once its evaluation completed, so an interrupted run
-// never leaves a partially rendered table.
+// never leaves a partially rendered table. -v streams per-stage progress
+// for -matrix/-suite plus per-experiment markers to stderr, the same flag
+// every splitmfg CLI uses.
 package main
 
 import (
@@ -67,6 +69,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	suite := fs.Bool("suite", false, "run the multi-benchmark multi-seed suite on the subset instead of an experiment")
 	replicates := fs.Int("replicates", 3, "seed replicates per suite cell (-suite only)")
 	listDefenses := fs.Bool("list-defenses", false, "list the registered defense schemes and exit")
+	verbose := fs.Bool("v", false, "stream per-stage progress to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -88,16 +91,17 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return fmt.Errorf("-replicates only applies to -suite runs")
 	}
 	if *matrix {
-		return runMatrix(ctx, stdout, *subset, *defenses, *attackers, *seed, *words, *scale)
+		return runMatrix(ctx, stdout, *subset, *defenses, *attackers, *seed, *words, *scale, *verbose)
 	}
 	if *suite {
-		return runSuite(ctx, stdout, *subset, *defenses, *attackers, *seed, *words, *scale, *replicates)
+		return runSuite(ctx, stdout, *subset, *defenses, *attackers, *seed, *words, *scale, *replicates, *verbose)
 	}
 
 	cfg := splitmfg.ExperimentConfig{
 		Seed:           *seed,
 		SuperblueScale: *scale,
 		PatternWords:   *words,
+		Verbose:        *verbose,
 	}
 	if *subset != "" {
 		cfg.ISCASSubset = strings.Split(*subset, ",")
@@ -117,6 +121,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	runOne := func(name string, f func() error) error {
 		if *exp != "all" && *exp != name {
 			return nil
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "smbench: running %s\n", name)
 		}
 		fmt.Fprintf(stdout, "== %s ==\n", name)
 		if err := f(); err != nil {
@@ -193,7 +200,7 @@ func subsetDesigns(subset string, defaults []string, scale int) ([]*splitmfg.Des
 // evaluation between and within benchmarks; each benchmark's table is
 // buffered and only written once its evaluation completed, so Ctrl-C
 // never leaves a partially rendered table.
-func runMatrix(ctx context.Context, stdout io.Writer, subset, defenses, attackers string, seed int64, words, scale int) error {
+func runMatrix(ctx context.Context, stdout io.Writer, subset, defenses, attackers string, seed int64, words, scale int, verbose bool) error {
 	schemes, err := splitmfg.ParseDefenses(defenses)
 	if err != nil {
 		return err
@@ -206,12 +213,19 @@ func runMatrix(ctx context.Context, stdout io.Writer, subset, defenses, attacker
 	if err != nil {
 		return err
 	}
-	pipe := splitmfg.New(
+	opts := []splitmfg.Option{
 		splitmfg.WithSeed(seed),
 		splitmfg.WithPatternWords(words),
 		splitmfg.WithDefenses(schemes...),
 		splitmfg.WithAttackers(engines...),
-	)
+	}
+	if verbose {
+		opts = append(opts, splitmfg.WithProgress(splitmfg.ProgressLogger(os.Stderr)))
+	}
+	pipe := splitmfg.New(opts...)
+	if err := pipe.Validate(); err != nil {
+		return err
+	}
 	for _, design := range designs {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -234,7 +248,7 @@ func runMatrix(ctx context.Context, stdout io.Writer, subset, defenses, attacker
 // (default: the full catalog — slow at full pattern depth; narrow with
 // -subset) and renders the aggregated Tables 4/5-style report. Output is
 // buffered until the whole suite completed, so cancellation leaves none.
-func runSuite(ctx context.Context, stdout io.Writer, subset, defenses, attackers string, seed int64, words, scale, replicates int) error {
+func runSuite(ctx context.Context, stdout io.Writer, subset, defenses, attackers string, seed int64, words, scale, replicates int, verbose bool) error {
 	schemes, err := splitmfg.ParseDefenses(defenses)
 	if err != nil {
 		return err
@@ -247,13 +261,20 @@ func runSuite(ctx context.Context, stdout io.Writer, subset, defenses, attackers
 	if err != nil {
 		return err
 	}
-	pipe := splitmfg.New(
+	opts := []splitmfg.Option{
 		splitmfg.WithSeed(seed),
 		splitmfg.WithPatternWords(words),
 		splitmfg.WithDefenses(schemes...),
 		splitmfg.WithAttackers(engines...),
 		splitmfg.WithReplicates(replicates),
-	)
+	}
+	if verbose {
+		opts = append(opts, splitmfg.WithProgress(splitmfg.ProgressLogger(os.Stderr)))
+	}
+	pipe := splitmfg.New(opts...)
+	if err := pipe.Validate(); err != nil {
+		return err
+	}
 	rep, err := pipe.Suite(ctx, designs)
 	if err != nil {
 		return err

@@ -6,7 +6,7 @@
 //
 //	smflow -bench c432 -lift 6 -budget 20 -out c432_protected.def
 //	smflow -bench superblue18 -scale 300 -lift 8 -budget 5
-//	smflow -bench c880 -json -progress
+//	smflow -bench c880 -json -v
 //	smflow -bench c432 -attacker proximity,greedy,random
 //
 // With -matrix it instead runs the defense×attacker cross-matrix
@@ -62,10 +62,12 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	out := fs.String("out", "", "write protected-layout DEF to this file")
 	vout := fs.String("verilog", "", "write the erroneous (FEOL) netlist as Verilog to this file")
 	jsonOut := fs.Bool("json", false, "emit the protect+security reports as JSON")
-	progress := fs.Bool("progress", false, "stream per-stage progress to stderr")
+	verbose := fs.Bool("v", false, "stream per-stage progress to stderr")
+	progress := fs.Bool("progress", false, "deprecated alias for -v")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	*verbose = *verbose || *progress
 
 	if *listDefenses {
 		for _, name := range splitmfg.Defenses() {
@@ -97,10 +99,13 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		splitmfg.WithMaxAttempts(*attempts),
 		splitmfg.WithReplicates(*replicates),
 	}
-	if *progress {
+	if *verbose {
 		opts = append(opts, splitmfg.WithProgress(splitmfg.ProgressLogger(os.Stderr)))
 	}
 	pipe := splitmfg.New(opts...)
+	if err := pipe.Validate(); err != nil {
+		return err
+	}
 
 	if *replicates > 1 && !*matrix {
 		return fmt.Errorf("-replicates only applies to -matrix runs")

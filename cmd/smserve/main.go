@@ -1,0 +1,118 @@
+// Command smserve is the long-running splitmfg evaluation server: it
+// exposes the protect/attack/evaluate/matrix/suite pipeline over HTTP+JSON
+// with job management, Server-Sent-Events progress streaming, and a
+// process-wide result cache shared across requests.
+//
+// Usage:
+//
+//	smserve -addr :8080 -parallelism 8 -jobs 2
+//
+// Endpoints:
+//
+//	POST   /v1/jobs             submit a job (body: a splitmfg.JobRequest)
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        status + report once done
+//	GET    /v1/jobs/{id}/events progress stream (SSE, replayed from start)
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /v1/stats            job-state and cache counters
+//	GET    /v1/catalog          valid benchmarks/attackers/defenses/kinds
+//	GET    /healthz             liveness
+//
+// SIGINT/SIGTERM drain the server: running jobs get -drain to finish (the
+// in-flight queue is canceled immediately), then outstanding connections
+// close.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"splitmfg/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "smserve:", err)
+		os.Exit(1)
+	}
+}
+
+// onListen, when non-nil, receives the bound address before the server
+// starts serving — the test seam for -addr :0.
+var onListen func(addr net.Addr)
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("smserve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	parallelism := fs.Int("parallelism", 0, "global worker budget split across running jobs (default GOMAXPROCS)")
+	jobs := fs.Int("jobs", 2, "max concurrently running jobs")
+	queue := fs.Int("queue", 64, "max queued jobs behind the running ones")
+	events := fs.Int("events", 4096, "per-job progress ring capacity for SSE replay")
+	drain := fs.Duration("drain", 15*time.Second, "shutdown grace period for running jobs")
+	verbose := fs.Bool("v", false, "log job lifecycle transitions to stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := server.Config{
+		Parallelism: *parallelism,
+		MaxRunning:  *jobs,
+		QueueDepth:  *queue,
+		EventBuffer: *events,
+	}
+	if *verbose {
+		logger := log.New(os.Stderr, "smserve: ", log.LstdFlags)
+		cfg.Logf = logger.Printf
+	}
+	mgr := server.NewManager(cfg)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if onListen != nil {
+		onListen(ln.Addr())
+	}
+	fmt.Fprintf(stdout, "smserve: listening on %s\n", ln.Addr())
+
+	srv := &http.Server{Handler: server.NewHandler(mgr)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		// Serve only returns on listener failure here; drain what ran.
+		mgr.Shutdown(context.Background())
+		return err
+	case <-ctx.Done():
+	}
+
+	// Drain order matters: finishing (or canceling) the jobs closes their
+	// event logs, which ends the SSE streams, which lets the HTTP shutdown
+	// below complete within the same grace period.
+	fmt.Fprintf(stdout, "smserve: draining (up to %s)\n", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	mgr.Shutdown(drainCtx)
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		srv.Close()
+		return err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(stdout, "smserve: bye")
+	return nil
+}

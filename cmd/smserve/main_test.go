@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServeSubmitDrain: boot the server on an ephemeral port, submit a
+// small evaluate job over HTTP, poll it to completion, then cancel the
+// serve context (the SIGTERM path) and check the drain completes cleanly.
+func TestServeSubmitDrain(t *testing.T) {
+	addrs := make(chan net.Addr, 1)
+	onListen = func(addr net.Addr) { addrs <- addr }
+	defer func() { onListen = nil }()
+
+	ctx, stop := context.WithCancel(context.Background())
+	defer stop()
+	var out bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-jobs", "1", "-drain", "30s"}, &out)
+	}()
+
+	var base string
+	select {
+	case addr := <-addrs:
+		base = "http://" + addr.String()
+	case err := <-done:
+		t.Fatalf("server exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never bound")
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz returned %d", resp.StatusCode)
+	}
+
+	body := `{"kind":"evaluate","benchmark":"c432","pattern_words":4,"split_layers":[3],"attackers":["random"]}`
+	resp, err = http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || info.ID == "" {
+		t.Fatalf("submit returned %d with id %q", resp.StatusCode, info.ID)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + info.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			State  string          `json:"state"`
+			Report json.RawMessage `json:"report"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if st.State == "done" {
+			if len(st.Report) == 0 {
+				t.Fatal("done job served no report")
+			}
+			break
+		}
+		if st.State == "failed" || st.State == "canceled" {
+			t.Fatalf("job ended %s", st.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job still %s after deadline", st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	stop()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after drain", err)
+		}
+	case <-time.After(45 * time.Second):
+		t.Fatal("server did not drain")
+	}
+	for _, want := range []string{"listening on", "draining", "bye"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output %q lacks %q", out.String(), want)
+		}
+	}
+}
+
+// TestBadFlags: flag errors surface as errors, not exits.
+func TestBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-bogus"}, &out); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

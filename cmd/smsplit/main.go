@@ -15,24 +15,28 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 
 	"splitmfg"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "smsplit:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("smsplit", flag.ContinueOnError)
 	name := fs.String("bench", "c880", "benchmark name")
 	layer := fs.Int("layer", 3, "split after this metal layer")
 	scale := fs.Int("scale", 300, "superblue scale divisor")
 	seed := fs.Int64("seed", 1, "seed")
 	out := fs.String("o", "", "output prefix (default: benchmark name)")
+	verbose := fs.Bool("v", false, "stream per-stage progress to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -45,8 +49,15 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	pipe := splitmfg.New(splitmfg.WithSeed(*seed))
-	l, err := pipe.Baseline(context.Background(), design)
+	opts := []splitmfg.Option{splitmfg.WithSeed(*seed)}
+	if *verbose {
+		opts = append(opts, splitmfg.WithProgress(splitmfg.ProgressLogger(os.Stderr)))
+	}
+	pipe := splitmfg.New(opts...)
+	if err := pipe.Validate(); err != nil {
+		return err
+	}
+	l, err := pipe.Baseline(ctx, design)
 	if err != nil {
 		return err
 	}

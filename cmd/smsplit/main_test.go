@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -11,7 +12,7 @@ func TestRunWritesSplitArtifacts(t *testing.T) {
 	dir := t.TempDir()
 	prefix := filepath.Join(dir, "c432")
 	var out strings.Builder
-	if err := run([]string{"-bench", "c432", "-layer", "3", "-o", prefix}, &out); err != nil {
+	if err := run(context.Background(), []string{"-bench", "c432", "-layer", "3", "-o", prefix}, &out); err != nil {
 		t.Fatal(err)
 	}
 	for _, suffix := range []string{"_feol.def", ".rt", ".out"} {
@@ -32,7 +33,7 @@ func TestRunBadLayerLeavesNoArtifacts(t *testing.T) {
 	dir := t.TempDir()
 	prefix := filepath.Join(dir, "bad")
 	var out strings.Builder
-	if err := run([]string{"-bench", "c432", "-layer", "99", "-o", prefix}, &out); err == nil {
+	if err := run(context.Background(), []string{"-bench", "c432", "-layer", "99", "-o", prefix}, &out); err == nil {
 		t.Fatal("split at M99 succeeded, want error")
 	}
 	entries, err := os.ReadDir(dir)

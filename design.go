@@ -58,6 +58,45 @@ func Benchmarks() []string {
 	return append(names, sb...)
 }
 
+// CatalogEntry describes one loadable benchmark: its name, family, the
+// published structural size (gate count for ISCAS-85, net count from the
+// paper's Table 2 for superblue) and interface counts, and the paper's
+// recommended physical-design settings that LoadBenchmark attaches. Scale
+// is the default superblue scale divisor (0 for ISCAS designs, which have
+// no scaling).
+type CatalogEntry struct {
+	Name        string  `json:"name"`
+	Superblue   bool    `json:"superblue"`
+	Cells       int     `json:"cells"`
+	Inputs      int     `json:"inputs"`
+	Outputs     int     `json:"outputs"`
+	LiftLayer   int     `json:"lift_layer"`
+	PPABudget   float64 `json:"ppa_budget_percent"`
+	Utilization int     `json:"utilization_percent"`
+	Scale       int     `json:"default_scale,omitempty"`
+}
+
+// Catalog describes every benchmark Benchmarks lists, with published sizes
+// and recommended settings, without generating any netlist — the discovery
+// surface behind the evaluation server's /v1/catalog.
+func Catalog() []CatalogEntry {
+	var entries []CatalogEntry
+	for _, name := range Benchmarks() {
+		e := CatalogEntry{Name: name, Superblue: bench.IsSuperblue(name)}
+		// The catalog names come straight from the bench registries, so
+		// the lookups cannot fail.
+		e.Cells, e.Inputs, e.Outputs, _ = bench.PublishedSize(name)
+		if e.Superblue {
+			e.LiftLayer, e.PPABudget, e.Scale = 8, 5, 300
+			e.Utilization, _ = bench.SuperblueUtil(name)
+		} else {
+			e.LiftLayer, e.PPABudget, e.Utilization = 6, 20, 70
+		}
+		entries = append(entries, e)
+	}
+	return entries
+}
+
 // LoadBenchmark loads one catalog benchmark by name ("c432".."c7552" or
 // "superblue1/5/10/12/18") and attaches the paper's recommended settings
 // for it. Superblue designs accept WithScale.

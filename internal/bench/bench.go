@@ -101,6 +101,27 @@ func Load(name string, scale int) (*netlist.Netlist, error) {
 	return ISCAS85(name)
 }
 
+// PublishedSize returns the published structural size of a catalog
+// benchmark: the gate count for an ISCAS-85 circuit, the net count from
+// Table 2 of the paper for a superblue design, plus the published primary
+// input/output counts. The numbers describe the original benchmarks, not a
+// scaled synthetic stand-in, so catalog listings can advertise them without
+// generating any netlist.
+func PublishedSize(name string) (cells, ins, outs int, err error) {
+	if IsSuperblue(name) {
+		s, ok := superblue[name]
+		if !ok {
+			return 0, 0, 0, fmt.Errorf("bench: unknown superblue design %q", name)
+		}
+		return s.nets, s.ins, s.outs, nil
+	}
+	s, ok := iscas85[name]
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("bench: unknown ISCAS-85 benchmark %q", name)
+	}
+	return s.gates, s.pis, s.pos, nil
+}
+
 // SuperblueUtil returns the paper's placement utilization for the design.
 func SuperblueUtil(name string) (int, error) {
 	s, ok := superblue[name]

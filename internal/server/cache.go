@@ -1,0 +1,87 @@
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+// CacheStats counts result-cache outcomes across the server's lifetime. A
+// hit is a job whose report was shared from another job's computation
+// (completed or still in flight); a miss is a job that computed its report
+// itself.
+type CacheStats struct {
+	Hits   int `json:"hits"`
+	Misses int `json:"misses"`
+}
+
+// cacheEntry is one in-flight or completed computation; ready is closed
+// when val/err are final.
+type cacheEntry struct {
+	ready chan struct{}
+	val   any
+	err   error
+}
+
+// resultCache is the process-wide content-addressed result cache shared by
+// every job the manager runs, the server-level analogue of the suite's
+// per-run cache: keys come from splitmfg.JobRequest.CacheKey, which encodes
+// every input that determines the report (and excludes parallelism, which
+// provably does not). Identical requests are deduplicated
+// singleflight-style — the first computes, later ones block until the value
+// is ready and count a hit. Failed computations are evicted before their
+// waiters wake, so a canceled or crashed job never poisons the key: a
+// waiter that observes the failure retries the lookup and computes itself.
+type resultCache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	stats   CacheStats
+}
+
+func newResultCache() *resultCache {
+	return &resultCache{entries: map[string]*cacheEntry{}}
+}
+
+// do returns the cached (or freshly computed) value for key. hit reports
+// whether the value came from another request's computation. The context
+// bounds only the wait on an in-flight sibling — it does not cancel the
+// sibling's computation, which other waiters may still want.
+func (c *resultCache) do(ctx context.Context, key string, compute func() (any, error)) (val any, hit bool, err error) {
+	for {
+		c.mu.Lock()
+		if e, ok := c.entries[key]; ok {
+			c.mu.Unlock()
+			select {
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			case <-e.ready:
+			}
+			if e.err == nil {
+				c.mu.Lock()
+				c.stats.Hits++
+				c.mu.Unlock()
+				return e.val, true, nil
+			}
+			// The computing request failed and evicted the entry; try to
+			// become the computer ourselves.
+			continue
+		}
+		e := &cacheEntry{ready: make(chan struct{})}
+		c.entries[key] = e
+		c.stats.Misses++
+		c.mu.Unlock()
+		e.val, e.err = compute()
+		if e.err != nil {
+			c.mu.Lock()
+			delete(c.entries, key)
+			c.mu.Unlock()
+		}
+		close(e.ready)
+		return e.val, false, e.err
+	}
+}
+
+func (c *resultCache) snapshot() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

@@ -1,0 +1,161 @@
+// Package server is the splitmfg evaluation service: a job manager that
+// admits protect/attack/evaluate/matrix/suite jobs through a bounded queue,
+// carves per-job parallelism budgets from one global budget, streams each
+// job's progress events to any number of (possibly late) SSE subscribers,
+// and shares results between identical requests through a process-wide
+// content-addressed cache. It imports only the repo's public splitmfg API,
+// like the CLIs.
+package server
+
+import (
+	"sync"
+	"time"
+
+	"splitmfg"
+)
+
+// StageCached is the synthetic stage appended to a job's event log when its
+// report was served from the shared result cache instead of being computed
+// (the computing job's log carries the real per-stage events).
+const StageCached = "cached"
+
+// Event is the JSON wire form of one progress event, as replayed and
+// streamed to SSE subscribers. Seq numbers events within one job from 0, so
+// clients can detect replay gaps after a ring-buffer overflow or a slow
+// subscriber's drops.
+type Event struct {
+	Seq       int     `json:"seq"`
+	Stage     string  `json:"stage"`
+	Attempt   int     `json:"attempt,omitempty"`
+	Layer     int     `json:"layer,omitempty"`
+	Bench     string  `json:"bench,omitempty"`
+	Replicate int     `json:"replicate,omitempty"`
+	Detail    string  `json:"detail,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// wireEvent converts a pipeline progress event to its wire form (Seq is
+// assigned at append time).
+func wireEvent(ev splitmfg.ProgressEvent) Event {
+	return Event{
+		Stage:     string(ev.Stage),
+		Attempt:   ev.Attempt,
+		Layer:     ev.Layer,
+		Bench:     ev.Bench,
+		Replicate: ev.Replicate,
+		Detail:    ev.Detail,
+		ElapsedMS: float64(ev.Elapsed) / float64(time.Millisecond),
+	}
+}
+
+// eventLog is one job's progress history plus its live subscribers: a
+// fixed-capacity ring retaining the most recent events (so late SSE
+// subscribers replay from the start for any job shorter than the capacity,
+// and from as far back as retained otherwise) and a fan-out channel per
+// subscriber. A subscriber that cannot keep up has events dropped rather
+// than stalling the pipeline; Seq gaps make the loss visible.
+type eventLog struct {
+	mu    sync.Mutex
+	buf   []Event // ring storage; index total%cap once len(buf) == cap
+	cap   int
+	total int // events ever appended; the next event's Seq
+	subs  map[int]chan Event
+	next  int // next subscriber id
+	done  bool
+}
+
+func newEventLog(capacity int) *eventLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &eventLog{cap: capacity, subs: map[int]chan Event{}}
+}
+
+// append records one event and fans it out to every live subscriber
+// without blocking.
+func (l *eventLog) append(ev Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.done {
+		return
+	}
+	ev.Seq = l.total
+	if len(l.buf) < l.cap {
+		l.buf = append(l.buf, ev)
+	} else {
+		l.buf[l.total%l.cap] = ev
+	}
+	l.total++
+	for _, ch := range l.subs {
+		select {
+		case ch <- ev:
+		default: // slow subscriber: drop; Seq shows the gap
+		}
+	}
+}
+
+// count returns how many events were ever appended.
+func (l *eventLog) count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// snapshot returns the retained events in append order.
+func (l *eventLog) snapshot() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.snapshotLocked()
+}
+
+func (l *eventLog) snapshotLocked() []Event {
+	if l.total <= l.cap {
+		return append([]Event(nil), l.buf...)
+	}
+	head := l.total % l.cap
+	out := make([]Event, 0, l.cap)
+	out = append(out, l.buf[head:]...)
+	return append(out, l.buf[:head]...)
+}
+
+// subscribe returns the retained history plus a channel carrying every
+// later event; the channel is closed when the job reaches a terminal state.
+// cancel detaches the subscriber (idempotent; safe after close). A
+// subscription to an already-finished job gets the history and an
+// immediately-closed channel.
+func (l *eventLog) subscribe() (replay []Event, ch <-chan Event, cancel func()) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	replay = l.snapshotLocked()
+	c := make(chan Event, l.cap)
+	if l.done {
+		close(c)
+		return replay, c, func() {}
+	}
+	id := l.next
+	l.next++
+	l.subs[id] = c
+	return replay, c, func() {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		if sub, ok := l.subs[id]; ok {
+			delete(l.subs, id)
+			close(sub)
+		}
+	}
+}
+
+// close marks the log final and releases every subscriber. Further appends
+// are ignored.
+func (l *eventLog) close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.done {
+		return
+	}
+	l.done = true
+	for id, ch := range l.subs {
+		delete(l.subs, id)
+		close(ch)
+	}
+}

@@ -1,0 +1,162 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"splitmfg"
+)
+
+// NewHandler builds the HTTP surface over a Manager:
+//
+//	POST   /v1/jobs             submit a job (202 + status JSON)
+//	GET    /v1/jobs             list all jobs in submission order
+//	GET    /v1/jobs/{id}        status; includes the report once done
+//	GET    /v1/jobs/{id}/events progress as Server-Sent Events (replayed
+//	                            from the start, then live, then one final
+//	                            "done" event carrying the terminal status)
+//	DELETE /v1/jobs/{id}        request cancellation (200 + status JSON)
+//	GET    /v1/stats            job-state and result-cache counters
+//	GET    /v1/catalog          benchmarks, attackers, defenses, job kinds
+//	GET    /healthz             liveness
+func NewHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /v1/catalog", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, catalogResponse{
+			Benchmarks: splitmfg.Catalog(),
+			Attackers:  splitmfg.Attackers(),
+			Defenses:   splitmfg.Defenses(),
+			Kinds:      splitmfg.JobKinds(),
+		})
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Stats())
+	})
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req splitmfg.JobRequest
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+			return
+		}
+		job, err := m.Submit(req)
+		if err != nil {
+			var oe *splitmfg.OptionError
+			switch {
+			case errors.As(err, &oe):
+				writeError(w, http.StatusBadRequest, err.Error())
+			case errors.Is(err, ErrQueueFull), errors.Is(err, ErrShuttingDown):
+				writeError(w, http.StatusServiceUnavailable, err.Error())
+			default:
+				writeError(w, http.StatusInternalServerError, err.Error())
+			}
+			return
+		}
+		writeJSON(w, http.StatusAccepted, job.Info())
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		jobs := m.Jobs()
+		infos := make([]Info, 0, len(jobs))
+		for _, j := range jobs {
+			infos = append(infos, j.Info())
+		}
+		writeJSON(w, http.StatusOK, jobsResponse{Jobs: infos})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "no such job")
+			return
+		}
+		writeJSON(w, http.StatusOK, statusResponse{Info: job.Info(), Report: job.Report()})
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := m.Cancel(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "no such job")
+			return
+		}
+		writeJSON(w, http.StatusOK, job.Info())
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "no such job")
+			return
+		}
+		streamEvents(w, r, job)
+	})
+	return mux
+}
+
+// streamEvents serves one job's progress stream: the retained history
+// first, then live events until the job finishes (terminated by a "done"
+// event carrying the final status) or the client disconnects.
+func streamEvents(w http.ResponseWriter, r *http.Request, job *Job) {
+	replay, live, cancel := job.log.subscribe()
+	defer cancel()
+	sse, ok := newSSEWriter(w)
+	if !ok {
+		return
+	}
+	for _, ev := range replay {
+		if err := sse.event("progress", ev.Seq, ev); err != nil {
+			return
+		}
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, open := <-live:
+			if !open {
+				// The job reached a terminal state; close the stream with
+				// its final status.
+				sse.event("done", -1, job.Info())
+				return
+			}
+			if err := sse.event("progress", ev.Seq, ev); err != nil {
+				return
+			}
+		}
+	}
+}
+
+type catalogResponse struct {
+	Benchmarks []splitmfg.CatalogEntry `json:"benchmarks"`
+	Attackers  []string                `json:"attackers"`
+	Defenses   []string                `json:"defenses"`
+	Kinds      []splitmfg.JobKind      `json:"kinds"`
+}
+
+type jobsResponse struct {
+	Jobs []Info `json:"jobs"`
+}
+
+// statusResponse is a job's Info plus, once done, its report.
+type statusResponse struct {
+	Info
+	Report any `json:"report,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}

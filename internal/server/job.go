@@ -1,0 +1,214 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"splitmfg"
+)
+
+// isCancellation reports whether err stems from context cancellation — the
+// flow entry points surface the cause through context.Cause, so a drained
+// or DELETEd job unwinds with one of the two sentinel errors.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// State is a job's position in its lifecycle:
+// queued → running → done | failed | canceled.
+type State string
+
+// Job states. A queued job that is canceled (by DELETE or by shutdown)
+// moves straight to canceled without running.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// terminal reports whether the state is final.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Job is one admitted evaluation request: its immutable identity (ID,
+// request, submission time) plus mutable lifecycle state guarded by mu.
+// The event log has its own lock so progress appends never contend with
+// status polls.
+type Job struct {
+	id  string
+	req splitmfg.JobRequest
+	log *eventLog
+
+	mu          sync.Mutex
+	state       State
+	created     time.Time
+	started     time.Time
+	finished    time.Time
+	report      any
+	err         error
+	cacheHit    bool
+	parallelism int // the share of the global budget the job ran with
+	cancelReq   bool
+	cancel      context.CancelFunc // set while running
+	done        chan struct{}      // closed on terminal state
+}
+
+func newJob(id string, req splitmfg.JobRequest, eventCap int) *Job {
+	return &Job{
+		id:      id,
+		req:     req,
+		log:     newEventLog(eventCap),
+		state:   StateQueued,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+}
+
+// ID returns the job's server-assigned identifier.
+func (j *Job) ID() string { return j.id }
+
+// Request returns the job's submitted request.
+func (j *Job) Request() splitmfg.JobRequest { return j.req }
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Report returns the job's report once done (nil otherwise).
+func (j *Job) Report() any {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.report
+}
+
+// start moves the job from queued to running. It returns false — and the
+// caller must skip the job — when cancellation already claimed it.
+func (j *Job) start(share int, cancel context.CancelFunc) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.parallelism = share
+	j.cancel = cancel
+	if j.cancelReq {
+		// DELETE raced admission: honor it before any work starts.
+		cancel()
+	}
+	return true
+}
+
+// finish records the job's outcome: done with a report, canceled when the
+// run was ended by cancellation, failed otherwise.
+func (j *Job) finish(report any, hit bool, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.terminal() {
+		return
+	}
+	j.finished = time.Now()
+	j.cancel = nil
+	j.cacheHit = hit
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.report = report
+	case j.cancelReq || isCancellation(err):
+		j.state = StateCanceled
+		j.err = err
+	default:
+		j.state = StateFailed
+		j.err = err
+	}
+	j.log.close()
+	close(j.done)
+}
+
+// markCanceled finalizes a job that never ran (canceled while queued, or
+// dropped at shutdown).
+func (j *Job) markCanceled() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.terminal() {
+		return
+	}
+	j.state = StateCanceled
+	j.finished = time.Now()
+	j.err = context.Canceled
+	j.log.close()
+	close(j.done)
+}
+
+// requestCancel asks the job to stop: a queued job finalizes immediately, a
+// running one has its context canceled and finalizes when the flow unwinds.
+func (j *Job) requestCancel() {
+	j.mu.Lock()
+	if j.state == StateQueued {
+		j.mu.Unlock()
+		j.markCanceled()
+		return
+	}
+	j.cancelReq = true
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// Info is the JSON status of a job, as returned by the list and status
+// endpoints (the status endpoint adds the report once done).
+type Info struct {
+	ID          string              `json:"id"`
+	Kind        splitmfg.JobKind    `json:"kind"`
+	State       State               `json:"state"`
+	Request     splitmfg.JobRequest `json:"request"`
+	Created     time.Time           `json:"created"`
+	Started     *time.Time          `json:"started,omitempty"`
+	Finished    *time.Time          `json:"finished,omitempty"`
+	Parallelism int                 `json:"parallelism,omitempty"` // granted share of the global budget
+	CacheHit    bool                `json:"cache_hit,omitempty"`
+	Events      int                 `json:"events"` // progress events recorded so far
+	Error       string              `json:"error,omitempty"`
+}
+
+// Info snapshots the job's status.
+func (j *Job) Info() Info {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	info := Info{
+		ID:          j.id,
+		Kind:        j.req.Kind,
+		State:       j.state,
+		Request:     j.req,
+		Created:     j.created,
+		Parallelism: j.parallelism,
+		CacheHit:    j.cacheHit,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		info.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		info.Finished = &t
+	}
+	info.Events = j.log.count()
+	if j.err != nil {
+		info.Error = j.err.Error()
+	}
+	return info
+}

@@ -1,0 +1,51 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// sseWriter encodes Server-Sent Events onto one streaming response,
+// flushing after every event so clients see progress immediately.
+type sseWriter struct {
+	w http.ResponseWriter
+	f http.Flusher
+}
+
+// newSSEWriter prepares w for an event stream. It returns ok=false (and
+// writes a plain-HTTP error) when the connection cannot stream.
+func newSSEWriter(w http.ResponseWriter) (*sseWriter, bool) {
+	f, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return nil, false
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	f.Flush()
+	return &sseWriter{w: w, f: f}, true
+}
+
+// event emits one named event with a JSON payload. The id field carries
+// seq when non-negative, letting clients resume detection of dropped
+// events across the replay boundary.
+func (s *sseWriter) event(name string, seq int, payload any) error {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return err
+	}
+	if seq >= 0 {
+		if _, err := fmt.Fprintf(s.w, "id: %d\n", seq); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(s.w, "event: %s\ndata: %s\n\n", name, data); err != nil {
+		return err
+	}
+	s.f.Flush()
+	return nil
+}

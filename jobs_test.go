@@ -1,0 +1,186 @@
+package splitmfg
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestPipelineValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		opts   []Option
+		option string // expected OptionError.Option; "" = valid
+	}{
+		{"defaults", nil, ""},
+		{"full valid", []Option{WithSeed(7), WithLiftLayer(6), WithUtilization(70),
+			WithPPABudget(20), WithTargetOER(0.9), WithPatternWords(16),
+			WithSplitLayers(3, 4), WithAttackers("proximity", "random"),
+			WithDefenses("pin-swapping"), WithFraction(0.2), WithReplicates(3),
+			WithMaxAttempts(2), WithParallelism(4), WithRouteParallelism(2)}, ""},
+		{"negative lift", []Option{WithLiftLayer(-1)}, "WithLiftLayer"},
+		{"util over 100", []Option{WithUtilization(101)}, "WithUtilization"},
+		{"negative budget", []Option{WithPPABudget(-5)}, "WithPPABudget"},
+		{"oer over 1", []Option{WithTargetOER(1.5)}, "WithTargetOER"},
+		{"negative words", []Option{WithPatternWords(-1)}, "WithPatternWords"},
+		{"layer below M1", []Option{WithSplitLayers(0)}, "WithSplitLayers"},
+		{"fraction over 1", []Option{WithFraction(1.5)}, "WithFraction"},
+		{"negative fraction", []Option{WithFraction(-0.1)}, "WithFraction"},
+		{"negative replicates", []Option{WithReplicates(-1)}, "WithReplicates"},
+		{"negative attempts", []Option{WithMaxAttempts(-1)}, "WithMaxAttempts"},
+		{"negative parallelism", []Option{WithParallelism(-1)}, "WithParallelism"},
+		{"negative route parallelism", []Option{WithRouteParallelism(-2)}, "WithRouteParallelism"},
+		{"unknown attacker", []Option{WithAttackers("bogus")}, "WithAttackers"},
+		{"blank attacker", []Option{WithAttackers("")}, "WithAttackers"},
+		{"unknown defense", []Option{WithDefenses("bogus")}, "WithDefenses"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := New(tc.opts...).Validate()
+			if tc.option == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			var oe *OptionError
+			if !errors.As(err, &oe) {
+				t.Fatalf("Validate() = %v, want *OptionError", err)
+			}
+			if oe.Option != tc.option {
+				t.Fatalf("OptionError.Option = %q, want %q (err: %v)", oe.Option, tc.option, err)
+			}
+		})
+	}
+}
+
+func TestJobRequestValidate(t *testing.T) {
+	valid := JobRequest{Kind: JobEvaluate, Benchmark: "c432", PatternWords: 4}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid request rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		req  JobRequest
+	}{
+		{"missing kind", JobRequest{Benchmark: "c432"}},
+		{"unknown kind", JobRequest{Kind: "bake", Benchmark: "c432"}},
+		{"no benchmark", JobRequest{Kind: JobMatrix}},
+		{"unknown benchmark", JobRequest{Kind: JobMatrix, Benchmark: "c9999"}},
+		{"multi-bench matrix", JobRequest{Kind: JobMatrix, Benchmarks: []string{"c432", "c880"}}},
+		{"negative scale", JobRequest{Kind: JobMatrix, Benchmark: "c432", Scale: -1}},
+		{"bad fraction", JobRequest{Kind: JobMatrix, Benchmark: "c432", Fraction: 2}},
+		{"unknown attacker", JobRequest{Kind: JobAttack, Benchmark: "c432", Attackers: []string{"bogus"}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.req.Validate()
+			var oe *OptionError
+			if !errors.As(err, &oe) {
+				t.Fatalf("Validate() = %v, want *OptionError", err)
+			}
+		})
+	}
+	// A suite accepts several benchmarks.
+	suite := JobRequest{Kind: JobSuite, Benchmarks: []string{"c432", "c880"}}
+	if err := suite.Validate(); err != nil {
+		t.Fatalf("suite request rejected: %v", err)
+	}
+}
+
+func TestJobRequestCacheKeyIgnoresParallelism(t *testing.T) {
+	a := JobRequest{Kind: JobMatrix, Benchmark: "c432", PatternWords: 16, Parallelism: 1}
+	b := JobRequest{Kind: JobMatrix, Benchmark: "c432", PatternWords: 16, Parallelism: 8, RouteParallelism: 4}
+	if a.CacheKey() != b.CacheKey() {
+		t.Fatalf("cache keys differ on parallelism only:\n%s\n%s", a.CacheKey(), b.CacheKey())
+	}
+	c := b
+	c.Seed = 42
+	if b.CacheKey() == c.CacheKey() {
+		t.Fatalf("cache key ignores seed: %s", c.CacheKey())
+	}
+	// Benchmark and a one-element Benchmarks list address the same result.
+	d := JobRequest{Kind: JobSuite, Benchmark: "c432"}
+	e := JobRequest{Kind: JobSuite, Benchmarks: []string{"c432"}}
+	if d.CacheKey() != e.CacheKey() {
+		t.Fatalf("benchmark spellings not normalized:\n%s\n%s", d.CacheKey(), e.CacheKey())
+	}
+}
+
+func TestJobRequestRunEvaluateMatchesPipeline(t *testing.T) {
+	req := JobRequest{Kind: JobEvaluate, Benchmark: "c432", PatternWords: 16,
+		SplitLayers: []int{3}, Attackers: []string{"random"}}
+	got, err := req.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, ok := got.(*SecurityReport)
+	if !ok {
+		t.Fatalf("evaluate job returned %T, want *SecurityReport", got)
+	}
+	d, err := LoadBenchmark("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := New(WithPatternWords(16), WithSplitLayers(3), WithAttackers("random"))
+	l, err := pipe.Randomized(context.Background(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := pipe.Evaluate(context.Background(), l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := MarshalReport(rep)
+	jb, _ := MarshalReport(want)
+	if string(ja) != string(jb) {
+		t.Fatalf("JobRequest.Run diverges from the direct pipeline:\n%s\nvs\n%s", ja, jb)
+	}
+}
+
+func TestJobRequestRunRejectsBadRequest(t *testing.T) {
+	_, err := JobRequest{Kind: JobEvaluate, Benchmark: "c432", Fraction: -1}.Run(context.Background())
+	var oe *OptionError
+	if !errors.As(err, &oe) {
+		t.Fatalf("Run on invalid request = %v, want *OptionError", err)
+	}
+}
+
+func TestCatalogEntries(t *testing.T) {
+	entries := Catalog()
+	if len(entries) != len(Benchmarks()) {
+		t.Fatalf("catalog has %d entries, want %d", len(entries), len(Benchmarks()))
+	}
+	byName := map[string]CatalogEntry{}
+	for _, e := range entries {
+		byName[e.Name] = e
+	}
+	c432, ok := byName["c432"]
+	if !ok || c432.Cells != 160 || c432.Inputs != 36 || c432.Outputs != 7 {
+		t.Fatalf("c432 catalog entry wrong: %+v", c432)
+	}
+	if c432.Superblue || c432.LiftLayer != 6 || c432.PPABudget != 20 || c432.Utilization != 70 {
+		t.Fatalf("c432 recommended settings wrong: %+v", c432)
+	}
+	sb18, ok := byName["superblue18"]
+	if !ok || !sb18.Superblue || sb18.Cells != 670323 || sb18.Scale != 300 {
+		t.Fatalf("superblue18 catalog entry wrong: %+v", sb18)
+	}
+	if sb18.LiftLayer != 8 || sb18.PPABudget != 5 || sb18.Utilization != 67 {
+		t.Fatalf("superblue18 recommended settings wrong: %+v", sb18)
+	}
+	// Every entry advertises a nonzero published size.
+	for _, e := range entries {
+		if e.Cells <= 0 || e.Inputs <= 0 || e.Outputs <= 0 {
+			t.Fatalf("catalog entry %s has empty published size: %+v", e.Name, e)
+		}
+	}
+}
+
+func TestOptionErrorMessageNamesOption(t *testing.T) {
+	err := New(WithFraction(3)).Validate()
+	if err == nil || !strings.Contains(err.Error(), "WithFraction") {
+		t.Fatalf("error %v does not name the offending option", err)
+	}
+}
