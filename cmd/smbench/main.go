@@ -40,6 +40,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"splitmfg"
@@ -70,8 +72,39 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	replicates := fs.Int("replicates", 3, "seed replicates per suite cell (-suite only)")
 	listDefenses := fs.Bool("list-defenses", false, "list the registered defense schemes and exit")
 	verbose := fs.Bool("v", false, "stream per-stage progress to stderr")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write an allocation heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		// Deferred so the profile covers the whole run, whatever path it
+		// takes below. GC first so the snapshot reflects live objects, not
+		// garbage awaiting collection.
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "smbench: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "smbench: -memprofile:", err)
+			}
+		}()
 	}
 
 	if *listDefenses {

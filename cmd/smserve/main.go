@@ -32,6 +32,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -62,8 +63,31 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	events := fs.Int("events", 4096, "per-job progress ring capacity for SSE replay")
 	drain := fs.Duration("drain", 15*time.Second, "shutdown grace period for running jobs")
 	verbose := fs.Bool("v", false, "log job lifecycle transitions to stderr")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof debug endpoints on this address (opt-in; keep it loopback-only)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// The profiling mux is opt-in and lives on its own listener so the
+	// public API port never exposes debug endpoints.
+	if *pprofAddr != "" {
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("-pprof: %v", err)
+		}
+		defer dln.Close()
+		fmt.Fprintf(stdout, "smserve: pprof on %s\n", dln.Addr())
+		go func() {
+			if err := http.Serve(dln, dbg); err != nil && !errors.Is(err, net.ErrClosed) {
+				fmt.Fprintln(os.Stderr, "smserve: pprof:", err)
+			}
+		}()
 	}
 
 	cfg := server.Config{

@@ -1,0 +1,29 @@
+package proximity
+
+import (
+	"context"
+	"testing"
+)
+
+// TestAttackAllocs pins the allocation count of one full proximity attack
+// on c880. The structural overhaul (netlist clone via arenas, dense
+// per-fragment tables, epoch-stamped PathExists scratch, preallocated flow
+// graph) brought this from ~15k allocations to under a thousand; the budget
+// only needs to catch one of those per-candidate allocations returning,
+// which costs thousands, not tens.
+func TestAttackAllocs(t *testing.T) {
+	d, sv := buildSplit(t, "c880", 3)
+	opt := DefaultOptions()
+	// Warm-up: grows the clone arenas and solver buffers once.
+	mustAttack(t, d, sv, opt)
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := Attack(context.Background(), d, sv, opt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 2000
+	if allocs > budget {
+		t.Fatalf("Attack allocates %.0f/op on c880, budget %d — per-candidate scratch crept back in", allocs, budget)
+	}
+	t.Logf("Attack c880: %.0f allocs/op (budget %d)", allocs, budget)
+}

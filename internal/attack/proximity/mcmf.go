@@ -47,6 +47,16 @@ func newMCMF(n int) *mcmf {
 	return &mcmf{n: n, head: h}
 }
 
+// reserve pre-sizes the edge arrays for `edges` forward edges (each brings a
+// residual twin), so graph build appends never reallocate.
+func (g *mcmf) reserve(edges int) {
+	n := 2 * edges
+	g.to = make([]int, 0, n)
+	g.cap = make([]int32, 0, n)
+	g.cost = make([]int64, 0, n)
+	g.next = make([]int, 0, n)
+}
+
 // addEdge inserts a directed edge u->v and its residual twin, returning the
 // forward edge index. Callers with capacities of unvalidated magnitude go
 // through addEdgeInt instead.
@@ -96,6 +106,10 @@ func (g *mcmf) run(ctx context.Context, s, t int) (flow int32, cost int64, err e
 	dist := make([]int64, g.n)
 	prevEdge := make([]int, g.n)
 	inTree := make([]bool, g.n)
+	// One heap buffer for every augmenting iteration — a large solve runs
+	// thousands of Dijkstra sweeps and regrowing the frontier each sweep
+	// shows up in heap profiles.
+	q := make([]mcmfItem, 0, g.n)
 	for {
 		if err := ctx.Err(); err != nil {
 			return flow, cost, err
@@ -106,7 +120,7 @@ func (g *mcmf) run(ctx context.Context, s, t int) (flow int32, cost int64, err e
 			prevEdge[i] = -1
 		}
 		dist[s] = 0
-		q := []mcmfItem{{Pri: 0, Value: s}}
+		q = append(q[:0], mcmfItem{Pri: 0, Value: s})
 		for len(q) > 0 {
 			var it mcmfItem
 			q, it = heapx.Pop(q)

@@ -114,7 +114,7 @@ func Attack(ctx context.Context, d *layout.Design, sv *layout.SplitView, opt Opt
 			m := d.Masters[di.gate]
 			// Slots = how many typical input pins the driver can add on
 			// top of the load it already drives within its own fragment.
-			known := len(f.SinkPins())
+			known := countSinkPins(f)
 			slots := int(m.MaxCap/2.0) - known
 			if slots > 2+2*m.Drive {
 				slots = 2 + 2*m.Drive // realistic fanout ceiling per drive
@@ -135,12 +135,28 @@ func Attack(ctx context.Context, d *layout.Design, sv *layout.SplitView, opt Opt
 	// the assignments made so far.
 	known := d.Netlist.Clone()
 	for _, fid := range sinks {
-		for _, sp := range sv.Frags[fid].SinkPins() {
+		for _, sp := range sv.Frags[fid].Pins {
 			// Detach unknown sinks: point them at a fresh dummy PI so the
 			// known netlist contains no assumption about them.
 			if sp.Role == layout.RoleSink {
 				dummy := known.AddPI("open_" + known.Gates[sp.Ref.Gate].Name)
 				_ = known.RewirePin(sp.Ref.Gate, sp.Ref.Pin, dummy)
+			}
+		}
+	}
+	// Per-fragment first cell sink, precomputed once: the timing hint asks
+	// for it per sink×driver pair and the loop filter per candidate edge —
+	// allocating a pin slice (SinkPins) on each ask dominated the attack's
+	// heap profile.
+	sinkGate := make([]int, len(sv.Frags))
+	for fid := range sinkGate {
+		sinkGate[fid] = -1
+	}
+	for _, fid := range sinks {
+		for _, p := range sv.Frags[fid].Pins {
+			if p.Role == layout.RoleSink {
+				sinkGate[fid] = p.Ref.Gate
+				break
 			}
 		}
 	}
@@ -157,18 +173,23 @@ func Attack(ctx context.Context, d *layout.Design, sv *layout.SplitView, opt Opt
 		sink, didx int
 		cost       float64
 	}
-	var all []cand
+	all := make([]cand, 0, len(sinks)*opt.Candidates)
+	type scored struct {
+		didx int
+		cost float64
+	}
+	// Per-sink scratch, reused across the loop: the scored list is
+	// len(dinfos) every iteration and the direction list is tiny.
+	scBuf := make([]scored, 0, len(dinfos))
+	var dirsBuf []layout.Direction
 	for _, sfid := range sinks {
 		if err := ctx.Err(); err != nil {
 			return res, err
 		}
 		spt := sv.FragCenter(d, sfid)
-		sdirs := fragDirs(sv, sfid)
-		type scored struct {
-			didx int
-			cost float64
-		}
-		var sc []scored
+		sdirs := appendFragDirs(dirsBuf[:0], sv, sfid)
+		dirsBuf = sdirs
+		sc := scBuf[:0]
 		for di := range dinfos {
 			dd := &dinfos[di]
 			cost := float64(spt.Manhattan(dd.pt)) + 1
@@ -183,13 +204,14 @@ func Attack(ctx context.Context, d *layout.Design, sv *layout.SplitView, opt Opt
 			if opt.TimingAware && dd.gate >= 0 {
 				// Deep-driver feeding deep-sink beyond the level budget is
 				// suspicious under a fixed clock.
-				sg := firstSinkGate(sv, sfid)
+				sg := sinkGate[sfid]
 				if sg >= 0 && levels != nil && levels[dd.gate]+1+(maxLevel-levels[sg]) > maxLevel+4 {
 					cost *= 1.3
 				}
 			}
 			sc = append(sc, scored{di, cost})
 		}
+		scBuf = sc
 		sort.Slice(sc, func(a, b int) bool { return sc[a].cost < sc[b].cost })
 		if len(sc) > opt.Candidates {
 			sc = sc[:opt.Candidates]
@@ -205,13 +227,14 @@ func Attack(ctx context.Context, d *layout.Design, sv *layout.SplitView, opt Opt
 	// load slots), driver -> sink candidate edges (capacity 1, proximity
 	// cost), sink -> target (capacity 1). Statically loop-infeasible
 	// candidates never enter the graph.
-	sinkIdx := map[int]int{}
+	sinkIdx := make([]int, len(sv.Frags))
 	for i, sfid := range sinks {
 		sinkIdx[sfid] = i
 	}
 	S := 0
 	T := 1 + len(dinfos) + len(sinks)
 	g := newMCMF(T + 1)
+	g.reserve(len(dinfos) + len(all) + len(sinks))
 	for di := range dinfos {
 		capSlots := dinfos[di].capRem
 		if !opt.LoadAware {
@@ -230,11 +253,11 @@ func Attack(ctx context.Context, d *layout.Design, sv *layout.SplitView, opt Opt
 		didx int
 		cost float64
 	}
-	var erefs []edgeRef
+	erefs := make([]edgeRef, 0, len(all))
 	for _, c := range all {
 		dd := &dinfos[c.didx]
 		if opt.LoopAware && dd.gate >= 0 {
-			sg := firstSinkGate(sv, c.sink)
+			sg := sinkGate[c.sink]
 			if sg >= 0 && wouldLoop(known, dd.gate, sg) {
 				continue // statically infeasible
 			}
@@ -259,7 +282,7 @@ func Attack(ctx context.Context, d *layout.Design, sv *layout.SplitView, opt Opt
 		}
 		return erefs[a].sink < erefs[b].sink
 	})
-	assigned := map[int]bool{}
+	assigned := make([]bool, len(sv.Frags))
 	commit := func(sink, didx int) {
 		assigned[sink] = true
 		res.Assignment[sink] = dinfos[didx].fid
@@ -271,7 +294,7 @@ func Attack(ctx context.Context, d *layout.Design, sv *layout.SplitView, opt Opt
 		if !opt.LoopAware || dinfos[didx].gate < 0 {
 			return true
 		}
-		sg := firstSinkGate(sv, sink)
+		sg := sinkGate[sink]
 		return sg < 0 || !wouldLoop(known, dinfos[didx].gate, sg)
 	}
 	for _, er := range erefs {
@@ -295,13 +318,25 @@ func Attack(ctx context.Context, d *layout.Design, sv *layout.SplitView, opt Opt
 	return res, nil
 }
 
-// fragDirs returns the dangling directions of a fragment's vpins.
-func fragDirs(sv *layout.SplitView, fid int) []layout.Direction {
-	var dirs []layout.Direction
+// appendFragDirs appends the dangling directions of a fragment's vpins to
+// dst, which callers reuse across fragments.
+func appendFragDirs(dst []layout.Direction, sv *layout.SplitView, fid int) []layout.Direction {
 	for _, vid := range sv.Frags[fid].VPins {
-		dirs = append(dirs, sv.VPins[vid].Dir)
+		dst = append(dst, sv.VPins[vid].Dir)
 	}
-	return dirs
+	return dst
+}
+
+// countSinkPins counts the sink-side terminals in the fragment without
+// materializing the SinkPins slice.
+func countSinkPins(f *layout.Fragment) int {
+	n := 0
+	for _, p := range f.Pins {
+		if p.Role == layout.RoleSink || p.Role == layout.RolePO {
+			n++
+		}
+	}
+	return n
 }
 
 // dirsCompatible reports whether any dangling direction at `from` points
@@ -328,16 +363,6 @@ func dirsCompatible(dirs []layout.Direction, from, to geom.Point) bool {
 	return any
 }
 
-// firstSinkGate returns the gate of the fragment's first cell sink, or -1.
-func firstSinkGate(sv *layout.SplitView, fid int) int {
-	for _, p := range sv.Frags[fid].SinkPins() {
-		if p.Role == layout.RoleSink {
-			return p.Ref.Gate
-		}
-	}
-	return -1
-}
-
 // wouldLoop reports whether driving sinkGate from driverGate closes a
 // combinational cycle in the attacker's current netlist.
 func wouldLoop(known *netlist.Netlist, driverGate, sinkGate int) bool {
@@ -351,7 +376,7 @@ func wouldLoop(known *netlist.Netlist, driverGate, sinkGate int) bool {
 // subsequent loop checks see it.
 func commitKnown(known *netlist.Netlist, sv *layout.SplitView, sinkFrag, driverGate int) {
 	net := known.Gates[driverGate].Out
-	for _, sp := range sv.Frags[sinkFrag].SinkPins() {
+	for _, sp := range sv.Frags[sinkFrag].Pins {
 		if sp.Role == layout.RoleSink {
 			_ = known.RewirePin(sp.Ref.Gate, sp.Ref.Pin, net)
 		}

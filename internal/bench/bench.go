@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
 	"strings"
 
 	"splitmfg/internal/netlist"
@@ -205,6 +206,16 @@ func max(a, b int) int {
 	return b
 }
 
+// chosen reports whether id already appears among the picked fanins.
+func chosen(fanin []int, id int) bool {
+	for _, f := range fanin {
+		if f == id {
+			return true
+		}
+	}
+	return false
+}
+
 // Generate synthesizes a netlist per the Spec. The construction is strictly
 // feed-forward (fan-ins are drawn from already-created nets), so the result
 // is acyclic by construction; DFFs additionally receive a feedback-free D
@@ -222,8 +233,17 @@ func Generate(s Spec) (*netlist.Netlist, error) {
 		window = s.Gates/20 + 8
 	}
 	nl := netlist.New(s.Name)
+	// Instance names are "<prefix><index>"; building them with AppendInt
+	// into one scratch buffer costs a single allocation per name where
+	// fmt.Sprintf pays extra for boxing.
+	var nameBuf []byte
+	name := func(prefix string, i int) string {
+		nameBuf = append(nameBuf[:0], prefix...)
+		nameBuf = strconv.AppendInt(nameBuf, int64(i), 10)
+		return string(nameBuf)
+	}
 	for i := 0; i < s.PIs; i++ {
-		nl.AddPI(fmt.Sprintf("pi%d", i))
+		nl.AddPI(name("pi", i))
 	}
 	comb := []netlist.GateType{
 		netlist.Nand, netlist.Nand, netlist.Nand, // NAND-rich like real ISCAS
@@ -243,6 +263,7 @@ func Generate(s Spec) (*netlist.Netlist, error) {
 		}
 		return rng.Intn(n)
 	}
+	var faninBuf [8]int
 	for i := 0; i < s.Gates; i++ {
 		var gt netlist.GateType
 		if s.DFFRatio > 0 && rng.Float64() < s.DFFRatio {
@@ -259,17 +280,17 @@ func Generate(s Spec) (*netlist.Netlist, error) {
 			}
 			nin += extra
 		}
-		fanin := make([]int, nin)
-		seen := map[int]bool{}
+		// Draw distinct fanins by scanning the few already-picked pins
+		// (fan-in is at most 4); AddGate copies the shared buffer.
+		fanin := faninBuf[:nin]
 		for p := range fanin {
 			id := pickNet(i)
-			for tries := 0; seen[id] && tries < 8; tries++ {
+			for tries := 0; chosen(fanin[:p], id) && tries < 8; tries++ {
 				id = pickNet(i)
 			}
-			seen[id] = true
 			fanin[p] = id
 		}
-		nl.AddGate(fmt.Sprintf("g%d", i), gt, fanin...)
+		nl.AddGate(name("g", i), gt, fanin...)
 	}
 	// Primary outputs: prefer nets with no sinks (so nothing dangles), then
 	// fill up to the requested count with random late nets.
@@ -287,11 +308,11 @@ func Generate(s Spec) (*netlist.Netlist, error) {
 			// Remaining sinkless nets still need a reader: make them POs
 			// too (real designs have no dangling nets). This may push the
 			// PO count slightly above spec, which the experiments tolerate.
-			nl.AddPO(fmt.Sprintf("po%d", po), id)
+			nl.AddPO(name("po", po), id)
 			po++
 			continue
 		}
-		nl.AddPO(fmt.Sprintf("po%d", po), id)
+		nl.AddPO(name("po", po), id)
 		used[id] = true
 		po++
 	}
@@ -305,7 +326,7 @@ func Generate(s Spec) (*netlist.Netlist, error) {
 			}
 		}
 		used[id] = true
-		nl.AddPO(fmt.Sprintf("po%d", po), id)
+		nl.AddPO(name("po", po), id)
 		po++
 	}
 	if err := nl.Validate(); err != nil {
@@ -314,6 +335,7 @@ func Generate(s Spec) (*netlist.Netlist, error) {
 	if nl.HasCombLoop() {
 		return nil, fmt.Errorf("bench: generated netlist has a loop (bug)")
 	}
+	nl.Compact()
 	return nl, nil
 }
 
@@ -419,5 +441,6 @@ func Multiplier(name string, n int) *netlist.Netlist {
 			nl.AddPO("po_x_"+nn.Name, nn.ID)
 		}
 	}
+	nl.Compact()
 	return nl
 }

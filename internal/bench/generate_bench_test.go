@@ -1,0 +1,32 @@
+package bench
+
+import "testing"
+
+// BenchmarkGenerateSuperblue18 measures synthesizing the superblue18
+// stand-in at the default CLI scale divisor (300, ~2.5k gates). It is the
+// "netlist build" datapoint behind DESIGN.md's memory-layout numbers.
+func BenchmarkGenerateSuperblue18(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Superblue("superblue18", 300); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNetlistCloneSuperblue18 measures deep-copying the generated
+// netlist — the operation the proximity attack performs once per run and
+// the suite scheduler once per cache miss.
+func BenchmarkNetlistCloneSuperblue18(b *testing.B) {
+	nl, err := Superblue("superblue18", 300)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c := nl.Clone(); c.NumGates() != nl.NumGates() {
+			b.Fatal("clone size mismatch")
+		}
+	}
+}

@@ -80,12 +80,16 @@ type Protected struct {
 	RestoreRoutes []int
 }
 
-// Route ID blocks for synthetic entities: netlist nets use their own IDs,
-// stubs and restoration wires are offset above them.
-const (
-	stubBase    = 1 << 24
-	restoreBase = 1 << 25
-)
+// Route IDs for synthetic entities are assigned contiguously above the
+// netlist nets: stubs occupy [NumNets, NumNets+numStubs) and restoration
+// wires follow, so the layout's dense route-ID tables stay compact. Blocks
+// keep the relative order nets < stubs < restores that sorted-route-ID
+// consumers (timing, split views) rely on.
+func (p *Protected) stubBase() int { return p.Design.Netlist.NumNets() }
+
+// restoreBase is valid once routeErroneous assigned every stub (one per
+// entry of CellOf).
+func (p *Protected) restoreBase() int { return p.stubBase() + len(p.CellOf) }
 
 // ProtectedSinks returns the set of sink pins covered by correction cells.
 func (p *Protected) ProtectedSinks() map[netlist.PinRef]bool {
@@ -254,6 +258,7 @@ func (p *Protected) routeErroneous() error {
 	}
 	var jobs []layout.EntityJob
 	var whats []what
+	stubBase := p.stubBase()
 	stub := 0
 	for _, n := range d.Netlist.Nets {
 		if n.FanoutCount() == 0 {
@@ -325,7 +330,7 @@ func (p *Protected) restore() error {
 	d := p.Design
 	var jobs []layout.EntityJob
 	var sinks []netlist.PinRef // per job, for error reporting
-	id := restoreBase
+	id := p.restoreBase()
 	for _, s := range p.Swaps {
 		cellA, okA := p.CellOf[s.A]
 		cellB, okB := p.CellOf[s.B]

@@ -64,10 +64,18 @@ type Design struct {
 	Router    *route.Router
 	Extras    []Extra
 
-	// Pins maps route ID -> tagged terminals of that routed entity.
-	Pins map[int][]TaggedPin
-	// NetOf maps route ID -> netlist net ID (-1 for synthetic BEOL wires).
-	NetOf map[int]int
+	// Pins holds the tagged terminals of each routed entity, densely
+	// indexed by route ID (netlist nets use their net ID; synthetic
+	// entities get contiguous IDs above NumNets). A nil entry means the
+	// ID is unrouted.
+	Pins [][]TaggedPin
+	// NetOf maps route ID -> netlist net ID, dense parallel to Pins (-1
+	// for synthetic BEOL wires). Use NetIDOf to distinguish unrouted IDs.
+	NetOf []int
+
+	// pinArena backs the route.Pin scratch RouteEntities hands the router,
+	// reused across calls.
+	pinArena []route.Pin
 }
 
 // NewDesign builds an unrouted design over the placement's die. The gcell
@@ -77,49 +85,93 @@ type Design struct {
 func NewDesign(nl *netlist.Netlist, masters []*cell.Master, p *place.Placement, ropt route.Options) *Design {
 	gc := geom.Clamp(p.Die.W()/80/10*10, 560, route.DefaultGCellNM)
 	grid := route.NewGrid(p.Die, gc, cell.NumLayers)
-	return &Design{
+	d := &Design{
 		Netlist:   nl,
 		Masters:   masters,
 		Placement: p,
 		Grid:      grid,
 		Router:    route.NewRouter(grid, ropt),
-		Pins:      map[int][]TaggedPin{},
-		NetOf:     map[int]int{},
+		Pins:      make([][]TaggedPin, nl.NumNets()),
+		NetOf:     make([]int, nl.NumNets()),
 	}
+	for i := range d.NetOf {
+		d.NetOf[i] = -1
+	}
+	return d
+}
+
+// setEntity records a routed entity's terminals, growing the dense tables
+// for synthetic route IDs above the netlist block.
+func (d *Design) setEntity(routeID, netID int, pins []TaggedPin) {
+	for routeID >= len(d.Pins) {
+		d.Pins = append(d.Pins, nil)
+		d.NetOf = append(d.NetOf, -1)
+	}
+	d.Pins[routeID] = pins
+	d.NetOf[routeID] = netID
+}
+
+// NetIDOf returns the netlist net a route ID realizes. ok is false for
+// route IDs that have not been routed; netID is -1 for synthetic BEOL
+// wires (stubs, restoration wiring).
+func (d *Design) NetIDOf(routeID int) (netID int, ok bool) {
+	if routeID < 0 || routeID >= len(d.Pins) || d.Pins[routeID] == nil {
+		return -1, false
+	}
+	return d.NetOf[routeID], true
+}
+
+// TaggedRouteIDs returns every routed entity's route ID in ascending
+// order — the deterministic iteration order analyses rely on.
+func (d *Design) TaggedRouteIDs() []int {
+	ids := make([]int, 0, len(d.Pins))
+	for id := range d.Pins {
+		if d.Pins[id] != nil {
+			ids = append(ids, id)
+		}
+	}
+	return ids
 }
 
 // TaggedNetPins builds the tagged terminal list of a netlist net from the
 // placement (driver cell/PI pad plus all sinks/PO pads), with standard-cell
 // pins on M1.
 func (d *Design) TaggedNetPins(netID int) []TaggedPin {
-	n := d.Netlist.Nets[netID]
-	pins := make([]TaggedPin, 0, 1+n.FanoutCount())
+	pins := make([]TaggedPin, 0, 1+d.Netlist.Nets[netID].FanoutCount())
+	return d.appendNetPins(pins, netID)
+}
+
+// appendNetPins appends the net's tagged terminals to dst (the allocation-
+// free core of TaggedNetPins, for callers batching many nets into one
+// arena).
+func (d *Design) appendNetPins(dst []TaggedPin, netID int) []TaggedPin {
+	n := &d.Netlist.Nets[netID]
 	if n.IsPI() {
 		// PI pads carry the PI index in Ref.Gate so attacks/metrics can
 		// identify which input a driver fragment represents.
-		pins = append(pins, TaggedPin{
+		dst = append(dst, TaggedPin{
 			Pin:  route.Pin{Pt: d.Placement.PIPads[n.PI], Layer: 1},
 			Role: RolePI, Gate: -1, Ref: netlist.PinRef{Gate: n.PI, Pin: -1}, PO: -1,
 		})
 	} else {
-		pins = append(pins, TaggedPin{
+		dst = append(dst, TaggedPin{
 			Pin:  route.Pin{Pt: d.Placement.GateCenter(n.Driver), Layer: 1},
 			Role: RoleDriver, Gate: n.Driver, PO: -1,
 		})
 	}
 	for _, s := range n.Sinks {
-		pins = append(pins, TaggedPin{
+		dst = append(dst, TaggedPin{
 			Pin:  route.Pin{Pt: d.Placement.GateCenter(s.Gate), Layer: 1},
 			Role: RoleSink, Gate: s.Gate, Ref: s, PO: -1,
 		})
 	}
 	for _, po := range n.POs {
-		pins = append(pins, TaggedPin{
+		dst = append(dst, TaggedPin{
 			Pin:  route.Pin{Pt: d.Placement.POPads[po], Layer: 1},
 			Role: RolePO, Gate: -1, PO: po,
 		})
 	}
-	return pins
+	return dst
 }
 
 // RouteEntity routes one entity (net or synthetic wire) with the given lift
@@ -133,8 +185,7 @@ func (d *Design) RouteEntity(routeID, netID int, pins []TaggedPin, lift int) err
 	if err := d.Router.RouteNet(routeID, rpins, lift); err != nil {
 		return err
 	}
-	d.Pins[routeID] = pins
-	d.NetOf[routeID] = netID
+	d.setEntity(routeID, netID, pins)
 	return nil
 }
 
@@ -152,20 +203,32 @@ type EntityJob struct {
 // recorded; on failure a *route.JobError surfaces so callers can name the
 // failing entity (its Index addresses the jobs slice).
 func (d *Design) RouteEntities(jobs []EntityJob) error {
-	rjobs := make([]route.Job, len(jobs))
-	for i, j := range jobs {
-		rpins := make([]route.Pin, len(j.Pins))
-		for k, p := range j.Pins {
-			rpins[k] = p.Pin
-		}
-		rjobs[i] = route.Job{ID: j.RouteID, Pins: rpins, MinLayer: j.Lift}
+	// All jobs' router pins are carved from one reusable arena instead of
+	// one slice per job. The router copies any pins it keeps (RoutedNet
+	// owns its own Pins), so reusing the arena across calls is safe.
+	total := 0
+	for i := range jobs {
+		total += len(jobs[i].Pins)
 	}
+	if cap(d.pinArena) < total {
+		d.pinArena = make([]route.Pin, 0, total)
+	}
+	arena := d.pinArena[:0]
+	rjobs := make([]route.Job, len(jobs))
+	for i := range jobs {
+		j := &jobs[i]
+		off := len(arena)
+		for k := range j.Pins {
+			arena = append(arena, j.Pins[k].Pin)
+		}
+		rjobs[i] = route.Job{ID: j.RouteID, Pins: arena[off:len(arena):len(arena)], MinLayer: j.Lift}
+	}
+	d.pinArena = arena
 	if err := d.Router.RouteJobs(rjobs); err != nil {
 		return err
 	}
-	for _, j := range jobs {
-		d.Pins[j.RouteID] = j.Pins
-		d.NetOf[j.RouteID] = j.NetID
+	for i := range jobs {
+		d.setEntity(jobs[i].RouteID, jobs[i].NetID, jobs[i].Pins)
 	}
 	return nil
 }
@@ -197,13 +260,22 @@ func (d *Design) RouteAll(lifts map[int]int) error {
 		}
 		jobs[k+1] = j
 	}
+	// Tag all nets' terminals into one arena: one allocation for the whole
+	// design instead of one per net.
+	total := 0
+	for _, j := range jobs {
+		total += 1 + d.Netlist.Nets[j.id].FanoutCount()
+	}
+	arena := make([]TaggedPin, 0, total)
 	ejobs := make([]EntityJob, len(jobs))
 	for i, j := range jobs {
 		lift := DefaultLift(j.hpwl / d.Grid.GCell)
 		if l, ok := lifts[j.id]; ok {
 			lift = l
 		}
-		ejobs[i] = EntityJob{RouteID: j.id, NetID: j.id, Pins: d.TaggedNetPins(j.id), Lift: lift}
+		off := len(arena)
+		arena = d.appendNetPins(arena, j.id)
+		ejobs[i] = EntityJob{RouteID: j.id, NetID: j.id, Pins: arena[off:len(arena):len(arena)], Lift: lift}
 	}
 	if err := d.RouteEntities(ejobs); err != nil {
 		var je *route.JobError

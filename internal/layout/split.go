@@ -91,31 +91,55 @@ type SplitView struct {
 // Split computes the FEOL view after the given layer. Every routed entity
 // is decomposed into connected FEOL components; vias crossing the boundary
 // become vpins with dangling-wire directions.
+//
+// Per-net bookkeeping (node set, adjacency, component labels) lives in
+// scratch buffers reused across the nets of one call — a net's FEOL piece
+// is small, but a full design has hundreds of thousands of them, and the
+// previous per-net maps made Split the dominant allocator of the whole
+// security evaluation. Only the returned fragments themselves allocate.
 func (d *Design) Split(layer int) (*SplitView, error) {
 	if layer < 1 || layer >= d.Grid.Layers {
 		return nil, fmt.Errorf("layout: split layer M%d out of range (1..%d)", layer, d.Grid.Layers-1)
 	}
 	sv := &SplitView{Layer: layer, ByRoute: map[int][]int{}}
-	nets := d.Router.Nets()
-	ids := make([]int, 0, len(nets))
-	for id := range nets {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	for _, id := range ids {
-		rn := nets[id]
-		// FEOL adjacency.
-		adj := map[route.Node][]route.Node{}
-		var boundary []route.Edge
-		touch := func(n route.Node) {
-			if _, ok := adj[n]; !ok {
-				adj[n] = nil
+	// Per-net scratch, reused across nets. Nodes are deduplicated by sort
+	// order and addressed by their index; adjacency is CSR over those
+	// indices, filled in edge-encounter order (the order the old per-node
+	// lists grew in, which danglingDir's first-match depends on).
+	var (
+		nodes    []route.Node
+		boundary []route.Edge
+		edgeA    []int32 // FEOL edge endpoints, as node indices
+		edgeB    []int32
+		degree   []int32
+		adjStart []int32 // CSR offsets, len nodes+1
+		adjList  []int32
+		comp     []int32 // node index -> global fragment ID
+		stack    []int32
+	)
+	// find returns the index of n in the current sorted node list.
+	find := func(n route.Node) int {
+		lo, hi := 0, len(nodes)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if nodeLess(nodes[mid], n) {
+				lo = mid + 1
+			} else {
+				hi = mid
 			}
 		}
+		return lo
+	}
+	for _, id := range d.Router.SortedNetIDs() {
+		rn := d.Router.Net(id)
+		// Collect the net's FEOL nodes: wire/via endpoints below the
+		// boundary, the FEOL side of each boundary via, and FEOL pins
+		// (fragment members even when isolated, e.g. a pin with a stacked
+		// via directly up).
+		nodes, boundary = nodes[:0], boundary[:0]
 		for _, e := range rn.Edges {
 			if e.A.Z <= layer && e.B.Z <= layer {
-				adj[e.A] = append(adj[e.A], e.B)
-				adj[e.B] = append(adj[e.B], e.A)
+				nodes = append(nodes, e.A, e.B)
 				continue
 			}
 			lo, hi := e.A, e.B
@@ -124,38 +148,64 @@ func (d *Design) Split(layer int) (*SplitView, error) {
 			}
 			if lo.Z == layer && hi.Z == layer+1 {
 				boundary = append(boundary, route.Edge{A: lo, B: hi})
-				touch(lo)
+				nodes = append(nodes, lo)
 			}
 		}
-		// FEOL pins are fragment members even when isolated (stub of zero
-		// FEOL wirelength, e.g. a pin with a stacked via directly up).
 		for _, p := range d.Pins[id] {
 			if p.Layer <= layer {
-				touch(d.Grid.NodeOf(p.Pt, p.Layer))
+				nodes = append(nodes, d.Grid.NodeOf(p.Pt, p.Layer))
 			}
 		}
-		// Connected components over FEOL nodes.
-		comp := map[route.Node]int{}
-		var order []route.Node
-		for n := range adj {
-			order = append(order, n)
+		sort.Slice(nodes, func(i, j int) bool { return nodeLess(nodes[i], nodes[j]) })
+		nodes = dedupNodes(nodes)
+		nn := len(nodes)
+		// CSR adjacency over node indices.
+		degree = resetInt32(degree, nn)
+		edgeA, edgeB = edgeA[:0], edgeB[:0]
+		for _, e := range rn.Edges {
+			if e.A.Z <= layer && e.B.Z <= layer {
+				a, b := int32(find(e.A)), int32(find(e.B))
+				edgeA = append(edgeA, a)
+				edgeB = append(edgeB, b)
+				degree[a]++
+				degree[b]++
+			}
 		}
-		sort.Slice(order, func(i, j int) bool { return nodeLess(order[i], order[j]) })
-		for _, n := range order {
-			if _, seen := comp[n]; seen {
+		adjStart = resetInt32(adjStart, nn+1)
+		for i := 0; i < nn; i++ {
+			adjStart[i+1] = adjStart[i] + degree[i]
+		}
+		adjList = resetInt32(adjList, int(adjStart[nn]))
+		for i := range degree {
+			degree[i] = 0 // reuse as per-node fill cursor
+		}
+		for k := range edgeA {
+			a, b := edgeA[k], edgeB[k]
+			adjList[adjStart[a]+degree[a]] = b
+			degree[a]++
+			adjList[adjStart[b]+degree[b]] = a
+			degree[b]++
+		}
+		// Connected components, discovered in sorted node order.
+		comp = resetInt32(comp, nn)
+		for i := range comp {
+			comp[i] = -1
+		}
+		for i := 0; i < nn; i++ {
+			if comp[i] >= 0 {
 				continue
 			}
 			fid := len(sv.Frags)
 			frag := Fragment{ID: fid, RouteID: id}
-			stack := []route.Node{n}
-			comp[n] = fid
+			stack = append(stack[:0], int32(i))
+			comp[i] = int32(fid)
 			for len(stack) > 0 {
 				cur := stack[len(stack)-1]
 				stack = stack[:len(stack)-1]
-				frag.Nodes = append(frag.Nodes, cur)
-				for _, m := range adj[cur] {
-					if _, seen := comp[m]; !seen {
-						comp[m] = fid
+				frag.Nodes = append(frag.Nodes, nodes[cur])
+				for _, m := range adjList[adjStart[cur]:adjStart[cur+1]] {
+					if comp[m] < 0 {
+						comp[m] = int32(fid)
 						stack = append(stack, m)
 					}
 				}
@@ -166,30 +216,57 @@ func (d *Design) Split(layer int) (*SplitView, error) {
 		// Attach design pins to their fragments.
 		for _, p := range d.Pins[id] {
 			if p.Layer <= layer {
-				if fid, ok := comp[d.Grid.NodeOf(p.Pt, p.Layer)]; ok {
+				n := d.Grid.NodeOf(p.Pt, p.Layer)
+				if i := find(n); i < nn && nodes[i] == n {
+					fid := comp[i]
 					sv.Frags[fid].Pins = append(sv.Frags[fid].Pins, p)
 				}
 			}
 		}
 		// VPins with dangling directions.
 		for _, e := range boundary {
-			fid, ok := comp[e.A]
-			if !ok {
+			i := find(e.A)
+			if i >= nn || nodes[i] != e.A {
 				continue // via stack floating above BEOL-only wiring
 			}
+			fid := int(comp[i])
 			vp := VPin{
 				ID:      len(sv.VPins),
 				RouteID: id,
 				Node:    e.A,
 				Pt:      d.Grid.CenterOf(e.A),
 				Frag:    fid,
-				Dir:     danglingDir(adj, e.A),
+				Dir:     danglingDir(nodes, adjList[adjStart[i]:adjStart[i+1]], e.A),
 			}
 			sv.VPins = append(sv.VPins, vp)
 			sv.Frags[fid].VPins = append(sv.Frags[fid].VPins, vp.ID)
 		}
 	}
 	return sv, nil
+}
+
+// dedupNodes removes adjacent duplicates from a sorted node slice in place.
+func dedupNodes(nodes []route.Node) []route.Node {
+	out := nodes[:0]
+	for i, n := range nodes {
+		if i == 0 || n != nodes[i-1] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// resetInt32 returns a zeroed int32 slice of length n, reusing buf's
+// backing array when it is large enough.
+func resetInt32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
 }
 
 func nodeLess(a, b route.Node) bool {
@@ -204,9 +281,12 @@ func nodeLess(a, b route.Node) bool {
 
 // danglingDir derives the direction the last FEOL wire segment travels as
 // it arrives at the vpin node: a segment from the west points East, etc.
-// Vias directly stacked (no top-layer segment) yield DirNone.
-func danglingDir(adj map[route.Node][]route.Node, at route.Node) Direction {
-	for _, m := range adj[at] {
+// Vias directly stacked (no top-layer segment) yield DirNone. neighbors
+// holds the vpin node's adjacency as indices into nodes, in edge-encounter
+// order (first match wins, as it always has).
+func danglingDir(nodes []route.Node, neighbors []int32, at route.Node) Direction {
+	for _, mi := range neighbors {
+		m := nodes[mi]
 		if m.Z != at.Z {
 			continue // via below, not a wire
 		}

@@ -10,7 +10,7 @@ func (nl *Netlist) RewirePin(gate, pin, newNet int) error {
 	if gate < 0 || gate >= len(nl.Gates) {
 		return fmt.Errorf("netlist: RewirePin: gate %d out of range", gate)
 	}
-	g := nl.Gates[gate]
+	g := &nl.Gates[gate]
 	if pin < 0 || pin >= len(g.Fanin) {
 		return fmt.Errorf("netlist: RewirePin: pin %d out of range for gate %q", pin, g.Name)
 	}
@@ -21,7 +21,7 @@ func (nl *Netlist) RewirePin(gate, pin, newNet int) error {
 	if oldNet == newNet {
 		return nil
 	}
-	old := nl.Nets[oldNet]
+	old := &nl.Nets[oldNet]
 	ref := PinRef{Gate: gate, Pin: pin}
 	for i, s := range old.Sinks {
 		if s == ref {
@@ -46,7 +46,7 @@ func (nl *Netlist) RewirePO(po, newNet int) error {
 	if oldNet == newNet {
 		return nil
 	}
-	old := nl.Nets[oldNet]
+	old := &nl.Nets[oldNet]
 	for i, p := range old.POs {
 		if p == po {
 			old.POs = append(old.POs[:i], old.POs[i+1:]...)

@@ -129,14 +129,38 @@ type Gate struct {
 }
 
 // Netlist is a canonical gate-level design.
+//
+// Gates and Nets are value slices indexed by ID: one contiguous block per
+// kind instead of one heap object per gate/net. Compact additionally packs
+// every Fanin/Sinks/POs slice into shared backing arrays, so a compacted
+// netlist is ~7 allocations regardless of size. Per-element slices are
+// carved with capacity == length: an append after compaction (RewirePin
+// adding a sink, say) copies only that one element's slice out of the
+// arena, leaving the rest shared.
 type Netlist struct {
 	Name    string
-	Gates   []*Gate
-	Nets    []*Net
+	Gates   []Gate
+	Nets    []Net
 	PINames []string
 	PONames []string
 	PINets  []int // net ID for each primary input
 	PONets  []int // net ID for each primary output
+
+	// faninArena is the shared backing AddGate carves Fanin slices from,
+	// so construction costs O(log gates) fanin allocations rather than one
+	// per gate. When a grow reallocates it, previously carved slices keep
+	// the old backing (still correct, transiently duplicated); Compact
+	// squeezes everything onto one exact-size array.
+	faninArena []int
+
+	// Epoch-stamped scratch for PathExists: pathSeen[g] == pathEpoch means
+	// "visited this query". Reused across calls so the loop-safety oracle
+	// (hammered once per candidate edge by defense randomization and the
+	// proximity attack) allocates nothing. Makes PathExists unsafe for
+	// concurrent use on one Netlist; all callers are sequential-per-netlist.
+	pathSeen  []int32
+	pathEpoch int32
+	pathStack []int
 }
 
 // New returns an empty netlist with the given design name.
@@ -160,27 +184,31 @@ func (nl *Netlist) NumPOs() int { return len(nl.PONames) }
 func (nl *Netlist) AddPI(name string) int {
 	pi := len(nl.PINames)
 	nl.PINames = append(nl.PINames, name)
-	net := &Net{ID: len(nl.Nets), Name: name, Driver: -1, PI: pi}
-	nl.Nets = append(nl.Nets, net)
-	nl.PINets = append(nl.PINets, net.ID)
-	return net.ID
+	id := len(nl.Nets)
+	nl.Nets = append(nl.Nets, Net{ID: id, Name: name, Driver: -1, PI: pi})
+	nl.PINets = append(nl.PINets, id)
+	return id
 }
 
 // AddGate creates a gate of the given type reading the fanin nets and
 // driving a freshly created output net named after the gate. It returns the
 // gate ID.
 func (nl *Netlist) AddGate(name string, t GateType, fanin ...int) int {
-	g := &Gate{ID: len(nl.Gates), Name: name, Type: t, Out: -1}
-	g.Fanin = append(g.Fanin, fanin...)
-	nl.Gates = append(nl.Gates, g)
-	out := &Net{ID: len(nl.Nets), Name: name, Driver: g.ID, PI: -1}
-	nl.Nets = append(nl.Nets, out)
-	g.Out = out.ID
-	for pin, netID := range g.Fanin {
-		n := nl.Nets[netID]
-		n.Sinks = append(n.Sinks, PinRef{Gate: g.ID, Pin: pin})
+	gid := len(nl.Gates)
+	out := len(nl.Nets)
+	off := len(nl.faninArena)
+	nl.faninArena = append(nl.faninArena, fanin...)
+	end := len(nl.faninArena)
+	nl.Gates = append(nl.Gates, Gate{
+		ID: gid, Name: name, Type: t, Out: out,
+		Fanin: nl.faninArena[off:end:end],
+	})
+	nl.Nets = append(nl.Nets, Net{ID: out, Name: name, Driver: gid, PI: -1})
+	for pin, netID := range fanin {
+		n := &nl.Nets[netID]
+		n.Sinks = append(n.Sinks, PinRef{Gate: gid, Pin: pin})
 	}
-	return g.ID
+	return gid
 }
 
 // AddPO marks a net as feeding a named primary output and returns the PO
@@ -197,10 +225,8 @@ func (nl *Netlist) AddPO(name string, netID int) int {
 // pin bounds, fan-in legality, and driver uniqueness. It returns the first
 // violation found, or nil.
 func (nl *Netlist) Validate() error {
-	for i, g := range nl.Gates {
-		if g == nil {
-			return fmt.Errorf("netlist %s: gate %d is nil", nl.Name, i)
-		}
+	for i := range nl.Gates {
+		g := &nl.Gates[i]
 		if g.ID != i {
 			return fmt.Errorf("netlist %s: gate %q has ID %d at index %d", nl.Name, g.Name, g.ID, i)
 		}
@@ -222,10 +248,8 @@ func (nl *Netlist) Validate() error {
 			}
 		}
 	}
-	for i, n := range nl.Nets {
-		if n == nil {
-			return fmt.Errorf("netlist %s: net %d is nil", nl.Name, i)
-		}
+	for i := range nl.Nets {
+		n := &nl.Nets[i]
 		if n.ID != i {
 			return fmt.Errorf("netlist %s: net %q has ID %d at index %d", nl.Name, n.Name, n.ID, i)
 		}
@@ -285,46 +309,84 @@ func (n *Net) hasSink(p PinRef) bool {
 	return false
 }
 
-// Clone returns a deep copy of the netlist.
+// Compact rewrites every Gate.Fanin, Net.Sinks, and Net.POs slice as a
+// full-capacity window into one shared backing array per kind. Builders
+// call it once construction is done: the per-element slices accumulated by
+// AddGate/AddPO collapse into three arenas, after which Clone costs a
+// handful of allocations and traversals walk contiguous memory. Later
+// edits stay safe — appending to a compacted slice (capacity == length)
+// copies that one element's slice out of the arena, and in-place removals
+// shift within the element's own window.
+func (nl *Netlist) Compact() {
+	var nf, ns, np int
+	for i := range nl.Gates {
+		nf += len(nl.Gates[i].Fanin)
+	}
+	for i := range nl.Nets {
+		ns += len(nl.Nets[i].Sinks)
+		np += len(nl.Nets[i].POs)
+	}
+	fanin := make([]int, 0, nf)
+	sinks := make([]PinRef, 0, ns)
+	pos := make([]int, 0, np)
+	for i := range nl.Gates {
+		g := &nl.Gates[i]
+		off := len(fanin)
+		fanin = append(fanin, g.Fanin...)
+		g.Fanin = fanin[off:len(fanin):len(fanin)]
+	}
+	for i := range nl.Nets {
+		n := &nl.Nets[i]
+		off := len(sinks)
+		sinks = append(sinks, n.Sinks...)
+		n.Sinks = sinks[off:len(sinks):len(sinks)]
+		off = len(pos)
+		pos = append(pos, n.POs...)
+		n.POs = pos[off:len(pos):len(pos)]
+	}
+	// Retire the (possibly oversized) construction arena; the carved
+	// slices above all have capacity == length, so a later AddGate grows a
+	// fresh arena without disturbing them.
+	nl.faninArena = fanin
+}
+
+// Clone returns a deep copy of the netlist. The copy is compacted: its
+// Fanin/Sinks/POs live on fresh shared arenas, detached from the receiver.
 func (nl *Netlist) Clone() *Netlist {
 	c := &Netlist{
 		Name:    nl.Name,
-		Gates:   make([]*Gate, len(nl.Gates)),
-		Nets:    make([]*Net, len(nl.Nets)),
+		Gates:   append([]Gate(nil), nl.Gates...),
+		Nets:    append([]Net(nil), nl.Nets...),
 		PINames: append([]string(nil), nl.PINames...),
 		PONames: append([]string(nil), nl.PONames...),
 		PINets:  append([]int(nil), nl.PINets...),
 		PONets:  append([]int(nil), nl.PONets...),
 	}
-	for i, g := range nl.Gates {
-		cg := *g
-		cg.Fanin = append([]int(nil), g.Fanin...)
-		c.Gates[i] = &cg
-	}
-	for i, n := range nl.Nets {
-		cn := *n
-		cn.Sinks = append([]PinRef(nil), n.Sinks...)
-		cn.POs = append([]int(nil), n.POs...)
-		c.Nets[i] = &cn
-	}
+	// The value copies above still share Fanin/Sinks/POs backing with the
+	// receiver; compacting rebuilds them on arenas owned by the clone.
+	c.Compact()
 	return c
 }
 
-// GateByName returns the gate with the given instance name, or nil.
+// GateByName returns the gate with the given instance name, or nil. The
+// pointer aliases the netlist's gate table and is invalidated by the next
+// AddGate.
 func (nl *Netlist) GateByName(name string) *Gate {
-	for _, g := range nl.Gates {
-		if g.Name == name {
-			return g
+	for i := range nl.Gates {
+		if nl.Gates[i].Name == name {
+			return &nl.Gates[i]
 		}
 	}
 	return nil
 }
 
-// NetByName returns the net with the given name, or nil.
+// NetByName returns the net with the given name, or nil. The pointer
+// aliases the netlist's net table and is invalidated by the next
+// AddPI/AddGate.
 func (nl *Netlist) NetByName(name string) *Net {
-	for _, n := range nl.Nets {
-		if n.Name == name {
-			return n
+	for i := range nl.Nets {
+		if nl.Nets[i].Name == name {
+			return &nl.Nets[i]
 		}
 	}
 	return nil

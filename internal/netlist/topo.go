@@ -1,5 +1,7 @@
 package netlist
 
+import "math"
+
 // TopoOrder returns gate IDs in a combinational topological order: a gate
 // appears after all gates whose outputs it reads, except across DFF
 // boundaries (a DFF output is treated as a source). The second result is
@@ -93,9 +95,17 @@ func (nl *Netlist) PathExists(from, to int) bool {
 	if from == to {
 		return true
 	}
-	seen := make([]bool, len(nl.Gates))
-	stack := []int{from}
-	seen[from] = true
+	// Epoch-stamped visited scratch: zero-fill only when the gate count
+	// outgrew the buffer or the epoch counter wrapped, not per query.
+	if len(nl.pathSeen) < len(nl.Gates) || nl.pathEpoch == math.MaxInt32 {
+		nl.pathSeen = make([]int32, len(nl.Gates))
+		nl.pathEpoch = 0
+	}
+	nl.pathEpoch++
+	ep := nl.pathEpoch
+	seen := nl.pathSeen
+	stack := append(nl.pathStack[:0], from)
+	seen[from] = ep
 	first := true
 	for len(stack) > 0 {
 		gid := stack[len(stack)-1]
@@ -107,14 +117,16 @@ func (nl *Netlist) PathExists(from, to int) bool {
 		first = false
 		for _, s := range nl.Nets[g.Out].Sinks {
 			if s.Gate == to {
+				nl.pathStack = stack[:0]
 				return true
 			}
-			if !seen[s.Gate] {
-				seen[s.Gate] = true
+			if seen[s.Gate] != ep {
+				seen[s.Gate] = ep
 				stack = append(stack, s.Gate)
 			}
 		}
 	}
+	nl.pathStack = stack[:0]
 	return false
 }
 

@@ -51,27 +51,35 @@ func (p *Placement) GateCenter(gate int) geom.Point { return p.Cells[gate].Cente
 // NetPoints returns the pin points of a net: driver (cell center or PI pad)
 // followed by all sinks (cell centers and PO pads).
 func (p *Placement) NetPoints(nl *netlist.Netlist, netID int) []geom.Point {
-	n := nl.Nets[netID]
-	pts := make([]geom.Point, 0, 1+n.FanoutCount())
+	n := &nl.Nets[netID]
+	return p.AppendNetPoints(make([]geom.Point, 0, 1+n.FanoutCount()), nl, netID)
+}
+
+// AppendNetPoints is the allocation-free core of NetPoints: it appends the
+// net's pin points to dst, which hot loops reuse across nets.
+func (p *Placement) AppendNetPoints(dst []geom.Point, nl *netlist.Netlist, netID int) []geom.Point {
+	n := &nl.Nets[netID]
 	if n.IsPI() {
-		pts = append(pts, p.PIPads[n.PI])
+		dst = append(dst, p.PIPads[n.PI])
 	} else {
-		pts = append(pts, p.GateCenter(n.Driver))
+		dst = append(dst, p.GateCenter(n.Driver))
 	}
 	for _, s := range n.Sinks {
-		pts = append(pts, p.GateCenter(s.Gate))
+		dst = append(dst, p.GateCenter(s.Gate))
 	}
 	for _, po := range n.POs {
-		pts = append(pts, p.POPads[po])
+		dst = append(dst, p.POPads[po])
 	}
-	return pts
+	return dst
 }
 
 // HPWL returns the total half-perimeter wirelength over all nets, in nm.
 func (p *Placement) HPWL(nl *netlist.Netlist) int64 {
 	var total int64
+	var pts []geom.Point
 	for _, n := range nl.Nets {
-		total += int64(geom.HPWL(p.NetPoints(nl, n.ID)))
+		pts = p.AppendNetPoints(pts[:0], nl, n.ID)
+		total += int64(geom.HPWL(pts))
 	}
 	return total
 }
@@ -326,8 +334,8 @@ func (p *Placement) legalize(nl *netlist.Netlist, masters []*cell.Master, xs, ys
 
 // CheckLegal verifies that no two cells overlap and all lie inside the die.
 func (p *Placement) CheckLegal() error {
-	type span struct{ lo, hi, id int }
-	rows := map[int][]span{}
+	type span struct{ y, lo, hi, id int }
+	spans := make([]span, 0, len(p.Cells))
 	for id, c := range p.Cells {
 		if c.Master == nil {
 			return fmt.Errorf("place: cell %d unplaced", id)
@@ -342,14 +350,19 @@ func (p *Placement) CheckLegal() error {
 		if c.Loc.X%cell.SiteWidth != 0 {
 			return fmt.Errorf("place: cell %d off-site at x=%d", id, c.Loc.X)
 		}
-		rows[c.Loc.Y] = append(rows[c.Loc.Y], span{c.Loc.X, c.Loc.X + c.Master.WidthNM, id})
+		spans = append(spans, span{c.Loc.Y, c.Loc.X, c.Loc.X + c.Master.WidthNM, id})
 	}
-	for y, spans := range rows {
-		sort.Slice(spans, func(a, b int) bool { return spans[a].lo < spans[b].lo })
-		for i := 1; i < len(spans); i++ {
-			if spans[i].lo < spans[i-1].hi {
-				return fmt.Errorf("place: cells %d and %d overlap in row y=%d", spans[i-1].id, spans[i].id, y)
-			}
+	// One flat sort by (row, x) replaces the old per-row map of spans; rows
+	// are contiguous runs, so overlap is always between sort-adjacent spans.
+	sort.Slice(spans, func(a, b int) bool {
+		if spans[a].y != spans[b].y {
+			return spans[a].y < spans[b].y
+		}
+		return spans[a].lo < spans[b].lo
+	})
+	for i := 1; i < len(spans); i++ {
+		if spans[i].y == spans[i-1].y && spans[i].lo < spans[i-1].hi {
+			return fmt.Errorf("place: cells %d and %d overlap in row y=%d", spans[i-1].id, spans[i].id, spans[i].y)
 		}
 	}
 	return nil
@@ -431,43 +444,71 @@ func (p *Placement) Refine(nl *netlist.Netlist, passes int) {
 			add(s.Gate)
 		}
 	}
+	// The swap cost is evaluated twice per candidate pair in the innermost
+	// loop; a per-call map for net dedup was the placer's dominant
+	// allocation. Epoch-stamped scratch over net IDs plus a reused point
+	// buffer make it allocation-free.
+	seenEp := make([]int32, nl.NumNets())
+	var epoch int32
+	var pts []geom.Point
 	hpwlOf := func(netID int) int {
-		return geom.HPWL(p.NetPoints(nl, netID))
+		pts = p.AppendNetPoints(pts[:0], nl, netID)
+		return geom.HPWL(pts)
 	}
 	cost := func(a, b int) int {
-		seen := map[int]bool{}
+		epoch++
 		total := 0
 		for _, id := range netsOf[a] {
-			if !seen[id] {
-				seen[id] = true
+			if seenEp[id] != epoch {
+				seenEp[id] = epoch
 				total += hpwlOf(id)
 			}
 		}
 		for _, id := range netsOf[b] {
-			if !seen[id] {
-				seen[id] = true
+			if seenEp[id] != epoch {
+				seenEp[id] = epoch
 				total += hpwlOf(id)
 			}
 		}
 		return total
 	}
-	// Spatial index: cells by (row, approximate column bucket).
-	type key struct{ row, col int }
-	bucket := func(g int) key {
-		return key{p.Cells[g].Loc.Y / cell.RowHeight, p.Cells[g].Loc.X / (8 * cell.SiteWidth)}
+	// Spatial index: cells by (row, approximate column bucket), stored as a
+	// dense grid. Swapping only exchanges locations, so the set of occupied
+	// buckets is invariant across passes and the grid extent is fixed.
+	const colPitch = 8 * cell.SiteWidth
+	rowOf := func(g int) int { return p.Cells[g].Loc.Y / cell.RowHeight }
+	colOf := func(g int) int { return p.Cells[g].Loc.X / colPitch }
+	if len(p.Cells) == 0 {
+		return
 	}
+	rowBase, colBase := rowOf(0), colOf(0)
+	rowMax, colMax := rowBase, colBase
+	for g := range p.Cells {
+		r, c := rowOf(g), colOf(g)
+		rowBase, rowMax = min(rowBase, r), max(rowMax, r)
+		colBase, colMax = min(colBase, c), max(colMax, c)
+	}
+	nRows, nCols := rowMax-rowBase+1, colMax-colBase+1
+	index := make([][]int, nRows*nCols)
 	for pass := 0; pass < passes; pass++ {
-		index := map[key][]int{}
+		for i := range index {
+			index[i] = index[i][:0]
+		}
 		for g := range p.Cells {
-			index[bucket(g)] = append(index[bucket(g)], g)
+			i := (rowOf(g)-rowBase)*nCols + (colOf(g) - colBase)
+			index[i] = append(index[i], g)
 		}
 		improved := 0
 		for a := range p.Cells {
-			ka := bucket(a)
+			ra, ca := rowOf(a)-rowBase, colOf(a)-colBase
 			bestGain, bestB := 0, -1
 			for dr := -2; dr <= 2; dr++ {
 				for dc := -2; dc <= 2; dc++ {
-					for _, b := range index[key{ka.row + dr, ka.col + dc}] {
+					r, c := ra+dr, ca+dc
+					if r < 0 || r >= nRows || c < 0 || c >= nCols {
+						continue
+					}
+					for _, b := range index[r*nCols+c] {
 						if b == a || p.Cells[a].Master.WidthNM != p.Cells[b].Master.WidthNM {
 							continue
 						}
@@ -490,4 +531,11 @@ func (p *Placement) Refine(nl *netlist.Netlist, passes int) {
 			return
 		}
 	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }

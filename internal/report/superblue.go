@@ -252,7 +252,7 @@ func Fig5(name string, cfg Config) (*Table, error) {
 		byLayer := make([]int64, cell.NumLayers+1)
 		var total int64
 		for id, rn := range v.d.Router.Nets() {
-			netID, ok := v.d.NetOf[id]
+			netID, ok := v.d.NetIDOf(id)
 			if !ok || !protNets[netID] {
 				continue
 			}

@@ -1,0 +1,39 @@
+package route
+
+import (
+	"testing"
+
+	"splitmfg/internal/geom"
+)
+
+// TestRouteNetAllocs pins the steady-state allocation count of an
+// incremental RouteNet call (the ECO path BEOL restoration hammers). The
+// budget is deliberately loose — it only needs to catch a reintroduced
+// per-call map or per-search scratch slice, which costs hundreds of
+// allocations, not single digits.
+func TestRouteNetAllocs(t *testing.T) {
+	die := geom.Rect{Lo: geom.Point{X: 0, Y: 0}, Hi: geom.Point{X: 140_000, Y: 140_000}}
+	grid := NewGrid(die, 0, 6)
+	r := NewRouter(grid, Options{})
+	pins := []Pin{
+		{Pt: geom.Point{X: 5_000, Y: 5_000}, Layer: 1},
+		{Pt: geom.Point{X: 120_000, Y: 30_000}, Layer: 1},
+		{Pt: geom.Point{X: 60_000, Y: 110_000}, Layer: 1},
+		{Pt: geom.Point{X: 20_000, Y: 90_000}, Layer: 1},
+		{Pt: geom.Point{X: 100_000, Y: 100_000}, Layer: 1},
+	}
+	// Warm the worker scratch so the measurement reflects steady state.
+	if err := r.RouteNet(1, pins, 1); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := r.RouteNet(1, pins, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 40
+	if allocs > budget {
+		t.Fatalf("RouteNet allocates %.0f/op, budget %d — per-call scratch crept back in", allocs, budget)
+	}
+	t.Logf("RouteNet: %.0f allocs/op (budget %d)", allocs, budget)
+}

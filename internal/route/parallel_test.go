@@ -219,8 +219,8 @@ func TestRerouteFailureKeepsOldRoute(t *testing.T) {
 		t.Fatal(err)
 	}
 	edges := append([]Edge(nil), r.Net(3).Edges...)
-	snapH := append([]int32(nil), r.usageH...)
-	snapV := append([]int32(nil), r.usageV...)
+	snapH := append([]int16(nil), r.usageH...)
+	snapV := append([]int16(nil), r.usageV...)
 
 	// M10 is vertical-only: these pins differ in X, so the re-route fails.
 	if err := r.RouteNet(3, pins, 10); err == nil {

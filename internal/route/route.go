@@ -20,6 +20,8 @@ package route
 
 import (
 	"fmt"
+	"math"
+	"sort"
 	"time"
 
 	"splitmfg/internal/geom"
@@ -158,8 +160,14 @@ type Router struct {
 	Grid Grid
 	Opt  Options
 
-	usageH []int32 // horizontal segment usage, indexed by node index
-	usageV []int32 // vertical segment usage
+	// Usage grids are int16: full-scale superblue grids run to tens of
+	// millions of nodes, and usage (nets crossing one gcell edge) stays
+	// within a few multiples of Capacity (~15), so halving the element size
+	// halves the router's largest resident arrays. addUsage panics before
+	// an increment could wrap — silent saturation would corrupt the rip-up
+	// accounting that negotiation depends on.
+	usageH []int16 // horizontal segment usage, indexed by node index
+	usageV []int16 // vertical segment usage
 	nets   map[int]*RoutedNet
 
 	// serial is the scratch worker incremental RouteNet calls route on;
@@ -183,8 +191,8 @@ func NewRouter(grid Grid, opt Options) *Router {
 	r := &Router{
 		Grid:   grid,
 		Opt:    opt.withDefaults(),
-		usageH: make([]int32, n),
-		usageV: make([]int32, n),
+		usageH: make([]int16, n),
+		usageV: make([]int16, n),
 		nets:   make(map[int]*RoutedNet),
 	}
 	r.serial = newWorker(r)
@@ -218,6 +226,18 @@ func (r *Router) Nets() map[int]*RoutedNet {
 // NumNets returns the number of currently routed nets (cheaper than
 // snapshotting via Nets when only the count is needed).
 func (r *Router) NumNets() int { return len(r.nets) }
+
+// SortedNetIDs returns the routed net IDs in ascending order — the
+// deterministic iteration order consumers need, without the map snapshot
+// Nets makes.
+func (r *Router) SortedNetIDs() []int {
+	ids := make([]int, 0, len(r.nets))
+	for id := range r.nets {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
 
 // Net returns one routed net, or nil. The returned net is a shared
 // read-only view: mutate it only through RouteNet/RipUp.
@@ -280,7 +300,7 @@ func (r *Router) ripUp(rn *RoutedNet) {
 	rn.Edges = nil
 }
 
-func (r *Router) addUsage(e Edge, d int32) {
+func (r *Router) addUsage(e Edge, d int16) {
 	if e.IsVia() {
 		return
 	}
@@ -289,10 +309,22 @@ func (r *Router) addUsage(e Edge, d int32) {
 		lo = e.B
 	}
 	if e.A.Y == e.B.Y && e.A.X != e.B.X {
-		r.usageH[r.idx(lo)] += d
+		r.usageH[r.idx(lo)] = satAdd16(r.usageH[r.idx(lo)], d)
 	} else {
-		r.usageV[r.idx(lo)] += d
+		r.usageV[r.idx(lo)] = satAdd16(r.usageV[r.idx(lo)], d)
 	}
+}
+
+// satAdd16 adds with an overflow panic: usage beyond int16 range means
+// thousands of nets stacked on one gcell edge — a corrupted accounting
+// state, not a legitimate design — and wrapping silently would break
+// rip-up bookkeeping and congestion negotiation in undebuggable ways.
+func satAdd16(u, d int16) int16 {
+	s := int32(u) + int32(d)
+	if s > math.MaxInt16 || s < math.MinInt16 {
+		panic(fmt.Sprintf("route: edge usage %d overflows int16", s))
+	}
+	return int16(s)
 }
 
 const viaBase = 10 // via cost = viaBase * Opt.ViaCost / 4
@@ -356,7 +388,7 @@ func (r *Router) ComputeStats() Stats {
 
 // MaxUsage returns the maximum edge usage, for congestion reporting.
 func (r *Router) MaxUsage() int {
-	m := int32(0)
+	m := int16(0)
 	for _, u := range r.usageH {
 		if u > m {
 			m = u
@@ -458,7 +490,7 @@ func (r *Router) NegotiateReroute(iters int) {
 				if e.B.X < lo.X || e.B.Y < lo.Y {
 					lo = e.B
 				}
-				var u int32
+				var u int16
 				if e.A.Y == e.B.Y && e.A.X != e.B.X {
 					u = r.usageH[r.idx(lo)]
 				} else {

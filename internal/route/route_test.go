@@ -319,8 +319,8 @@ func TestPropertyRipUpIsInverse(t *testing.T) {
 		if r.RouteNet(0, bg, 1) != nil {
 			return false
 		}
-		snapH := append([]int32(nil), r.usageH...)
-		snapV := append([]int32(nil), r.usageV...)
+		snapH := append([]int16(nil), r.usageH...)
+		snapV := append([]int16(nil), r.usageV...)
 		pins := []Pin{
 			{Pt: geom.Point{X: rng.Intn(56000), Y: rng.Intn(56000)}, Layer: 1},
 			{Pt: geom.Point{X: rng.Intn(56000), Y: rng.Intn(56000)}, Layer: 1},

@@ -40,9 +40,20 @@ type worker struct {
 	pqBuf   []pqItem
 	seedBuf []int32
 
-	// Usage overlay for the net currently being routed.
-	deltaH   []int32
-	deltaV   []int32
+	// Steiner-tree scratch for the net currently being routed: treeEp
+	// stamps membership (a node is in the tree iff treeEp[i] == treeEpoch)
+	// and treeList holds each member once, so tree upkeep allocates
+	// nothing per net.
+	treeEp    []int32
+	treeList  []int32
+	treeEpoch int32
+	orderBuf  []int
+	pathBuf   []Edge
+
+	// Usage overlay for the net currently being routed (int16 to match the
+	// shared grids; a single net's edges can never approach the range).
+	deltaH   []int16
+	deltaV   []int16
 	touchedH []int32
 	touchedV []int32
 }
@@ -54,8 +65,9 @@ func newWorker(r *Router) *worker {
 		dist:    make([]int64, n),
 		visitID: make([]int32, n),
 		from:    make([]int32, n),
-		deltaH:  make([]int32, n),
-		deltaV:  make([]int32, n),
+		deltaH:  make([]int16, n),
+		deltaV:  make([]int16, n),
+		treeEp:  make([]int32, n),
 	}
 }
 
@@ -73,7 +85,7 @@ func (w *worker) reset() {
 
 // addDelta records one edge in the overlay (the in-flight equivalent of
 // Router.addUsage).
-func (w *worker) addDelta(e Edge, d int32) {
+func (w *worker) addDelta(e Edge, d int16) {
 	if e.IsVia() {
 		return
 	}
@@ -102,9 +114,9 @@ func (w *worker) segCost(lo Node, horizontal bool) int64 {
 	i := r.idx(lo)
 	var u int32
 	if horizontal {
-		u = r.usageH[i] + w.deltaH[i]
+		u = int32(r.usageH[i]) + int32(w.deltaH[i])
 	} else {
-		u = r.usageV[i] + w.deltaV[i]
+		u = int32(r.usageV[i]) + int32(w.deltaV[i])
 	}
 	// Commercial routers fill the cheap lower layers first and only climb
 	// under congestion or length pressure; the per-layer bias reproduces
@@ -149,15 +161,17 @@ func (w *worker) routeNet(id int, pins []Pin, minLayer int, old *RoutedNet, boun
 	}
 
 	// Tree nodes so far (as indices); start from pin 0's grid node.
-	tree := map[int32]bool{}
+	w.treeEpoch++
 	start := w.r.Grid.NodeOf(pins[0].Pt, pins[0].Layer)
-	tree[w.r.idx(start)] = true
+	w.treeList = w.treeList[:0]
+	w.treeAdd(w.r.idx(start))
 
 	// Route sinks nearest-first to keep trees short.
-	order := make([]int, 0, len(pins)-1)
+	order := w.orderBuf[:0]
 	for i := 1; i < len(pins); i++ {
 		order = append(order, i)
 	}
+	w.orderBuf = order
 	for i := 0; i < len(order); i++ {
 		best := i
 		for j := i + 1; j < len(order); j++ {
@@ -170,10 +184,10 @@ func (w *worker) routeNet(id int, pins []Pin, minLayer int, old *RoutedNet, boun
 
 	for _, pi := range order {
 		target := w.r.Grid.NodeOf(pins[pi].Pt, pins[pi].Layer)
-		if tree[w.r.idx(target)] {
+		if w.inTree(w.r.idx(target)) {
 			continue
 		}
-		path, err := w.search(tree, target, wireMin, bound)
+		path, err := w.search(target, wireMin, bound)
 		if err != nil {
 			rn.Failed = true
 			rn.Edges = nil
@@ -185,12 +199,23 @@ func (w *worker) routeNet(id int, pins []Pin, minLayer int, old *RoutedNet, boun
 		for _, e := range path {
 			rn.Edges = append(rn.Edges, e)
 			w.addDelta(e, 1)
-			tree[w.r.idx(e.A)] = true
-			tree[w.r.idx(e.B)] = true
+			w.treeAdd(w.r.idx(e.A))
+			w.treeAdd(w.r.idx(e.B))
 		}
 	}
 	return rn, nil
 }
+
+// treeAdd inserts a node into the current net's tree (idempotent).
+func (w *worker) treeAdd(i int32) {
+	if w.treeEp[i] != w.treeEpoch {
+		w.treeEp[i] = w.treeEpoch
+		w.treeList = append(w.treeList, i)
+	}
+}
+
+// inTree reports membership in the current net's tree.
+func (w *worker) inTree(i int32) bool { return w.treeEp[i] == w.treeEpoch }
 
 // search runs A* from the tree frontier to the target node. Wire moves are
 // restricted to layers >= wireMin in the layer's preferred direction; via
@@ -198,13 +223,13 @@ func (w *worker) routeNet(id int, pins []Pin, minLayer int, old *RoutedNet, boun
 // tree and target expanded by MaxDetour gcells, retried once at 4x detour
 // — except in bounded mode, where any region not contained in bound
 // (including the retry) aborts with errEscaped.
-func (w *worker) search(tree map[int32]bool, target Node, wireMin int, bound *region) ([]Edge, error) {
+func (w *worker) search(target Node, wireMin int, bound *region) ([]Edge, error) {
 	for _, detour := range []int{w.r.Opt.MaxDetour, w.r.Opt.MaxDetour * 4} {
-		reg := w.searchRegion(tree, target, detour)
+		reg := w.searchRegion(target, detour)
 		if bound != nil && !bound.contains(reg) {
 			return nil, errEscaped
 		}
-		edges, ok := w.searchBounded(tree, target, wireMin, reg)
+		edges, ok := w.searchBounded(target, wireMin, reg)
 		if ok {
 			return edges, nil
 		}
@@ -230,11 +255,11 @@ func (a region) contains(b region) bool {
 
 // searchRegion is the clamped bounding box of the tree and target expanded
 // by detour gcells.
-func (w *worker) searchRegion(tree map[int32]bool, target Node, detour int) region {
+func (w *worker) searchRegion(target Node, detour int) region {
 	g := w.r.Grid
 	loX, loY := target.X, target.Y
 	hiX, hiY := target.X, target.Y
-	for t := range tree {
+	for _, t := range w.treeList {
 		n := w.r.node(t)
 		if n.X < loX {
 			loX = n.X
@@ -257,7 +282,7 @@ func (w *worker) searchRegion(tree map[int32]bool, target Node, detour int) regi
 	}
 }
 
-func (w *worker) searchBounded(tree map[int32]bool, target Node, wireMin int, reg region) ([]Edge, bool) {
+func (w *worker) searchBounded(target Node, wireMin int, reg region) ([]Edge, bool) {
 	g := w.r.Grid
 	loX, loY, hiX, hiY := reg.loX, reg.loY, reg.hiX, reg.hiY
 
@@ -272,13 +297,11 @@ func (w *worker) searchBounded(tree map[int32]bool, target Node, wireMin int, re
 		dz := int64(absInt(n.Z - target.Z))
 		return (dx+dy)*10 + dz*w.r.viaCost()
 	}
-	// Seed the frontier in sorted node order: map iteration order would
-	// otherwise leak into equal-cost tie-breaks and make routing
-	// nondeterministic across runs.
-	seeds := w.seedBuf[:0]
-	for t := range tree {
-		seeds = append(seeds, t)
-	}
+	// Seed the frontier in sorted node order: tree insertion order would
+	// otherwise leak into equal-cost tie-breaks, and historically the tree
+	// was a map whose keys were seeded sorted — keeping that order keeps
+	// routing byte-identical.
+	seeds := append(w.seedBuf[:0], w.treeList...)
 	sort.Slice(seeds, func(i, j int) bool { return seeds[i] < seeds[j] })
 	w.seedBuf = seeds
 	q := w.pqBuf[:0]
@@ -307,11 +330,13 @@ func (w *worker) searchBounded(tree map[int32]bool, target Node, wireMin int, re
 			continue // stale entry
 		}
 		if cur == tIdx {
-			// Reconstruct path back to the tree.
-			var edges []Edge
+			// Reconstruct path back to the tree (into the worker's reusable
+			// buffer — the caller consumes it before the next search).
+			edges := w.pathBuf[:0]
 			for i := cur; w.from[i] >= 0; i = w.from[i] {
 				edges = append(edges, Edge{A: w.r.node(w.from[i]), B: w.r.node(i)})
 			}
+			w.pathBuf = edges
 			return edges, true
 		}
 		n := w.r.node(cur)

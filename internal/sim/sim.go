@@ -28,8 +28,21 @@ type Simulator struct {
 	nl    *netlist.Netlist
 	order []int // topological gate order
 
-	// SeqState supplies per-DFF input words; when nil, DFF outputs are 0.
-	SeqState map[int][]uint64 // gate ID -> words
+	// SeqState supplies per-DFF input words, indexed densely by gate ID
+	// (entries for non-DFF gates are ignored). When the outer slice is nil,
+	// short, or a DFF's entry is nil, that DFF's output simulates as 0.
+	SeqState [][]uint64 // gate ID -> words
+}
+
+// SetSeqState records the input words for one DFF gate, growing the dense
+// table on demand.
+func (s *Simulator) SetSeqState(gate int, words []uint64) {
+	if gate >= len(s.SeqState) {
+		grown := make([][]uint64, s.nl.NumGates())
+		copy(grown, s.SeqState)
+		s.SeqState = grown
+	}
+	s.SeqState[gate] = words
 }
 
 // New builds a simulator, returning ErrCombLoop for cyclic designs.
@@ -70,10 +83,8 @@ func (s *Simulator) Eval(piWords [][]uint64, words int) ([][]uint64, error) {
 			continue
 		}
 		out := make([]uint64, words)
-		if s.SeqState != nil {
-			if st, ok := s.SeqState[g.ID]; ok {
-				copy(out, st)
-			}
+		if g.ID < len(s.SeqState) {
+			copy(out, s.SeqState[g.ID])
 		}
 		val[g.Out] = out
 	}

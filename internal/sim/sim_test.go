@@ -137,7 +137,7 @@ func TestDFFPseudoInput(t *testing.T) {
 		t.Fatalf("y = %x, want F0F0", got)
 	}
 	// With state: y = a ^ state.
-	s.SeqState = map[int][]uint64{ff: {0xFF00}}
+	s.SetSeqState(ff, []uint64{0xFF00})
 	val, err = s.Eval(pats, 1)
 	if err != nil {
 		t.Fatal(err)

@@ -14,7 +14,6 @@ package timing
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"splitmfg/internal/cell"
 	"splitmfg/internal/geom"
@@ -25,15 +24,11 @@ import (
 // taggedRouteIDs returns the design's route IDs in ascending order.
 // Several routed entities (trunk, stubs, restoration wires) can map to the
 // same net, and float accumulation is not associative: summing their RC in
-// map-iteration order would make the last ulp of delay/power differ from
-// run to run, breaking byte-stable golden reports.
+// any other order would make the last ulp of delay/power differ from run
+// to run, breaking byte-stable golden reports. The design's dense table
+// already yields ascending IDs.
 func taggedRouteIDs(d *layout.Design) []int {
-	ids := make([]int, 0, len(d.NetOf))
-	for routeID := range d.NetOf {
-		ids = append(ids, routeID)
-	}
-	sort.Ints(ids)
-	return ids
+	return d.TaggedRouteIDs()
 }
 
 // NetLoad carries the physical load of one netlist net.

@@ -1,0 +1,69 @@
+// BenchmarkSuperblueEndToEnd: the full attacker-facing pipeline on one
+// superblue stand-in, at a configurable scale divisor. This is the
+// benchmark that finally covers the paper's real sizes: at SUPERBLUE_SCALE=1
+// it synthesizes, binds, places, routes, and splits superblue18 at its
+// published 670k-net size on one machine (see DESIGN.md "Memory layout at
+// scale" for the numbers the SoA overhaul buys there). CI runs it at a
+// reduced scale and publishes the result as BENCH_superblue.json.
+package splitmfg
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"splitmfg/internal/bench"
+	"splitmfg/internal/cell"
+	"splitmfg/internal/defense/correction"
+)
+
+// superblueBenchScale reads the scale divisor from SUPERBLUE_SCALE
+// (1 = published size). The default keeps the CI bench smoke in seconds.
+func superblueBenchScale(b *testing.B) int {
+	const def = 400
+	s := os.Getenv("SUPERBLUE_SCALE")
+	if s == "" {
+		return def
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil || v < 1 {
+		b.Fatalf("bad SUPERBLUE_SCALE %q: want integer >= 1", s)
+	}
+	return v
+}
+
+// BenchmarkSuperblueEndToEnd measures netlist synthesis -> cell binding ->
+// placement at the published utilization -> full routing -> M5 split (the
+// FEOL view a foundry adversary starts from) for superblue18, the smallest
+// of the five industrial designs. One iteration is one complete pipeline;
+// allocs/op and B/op therefore bound the end-to-end allocation cost of
+// taking a design from published counts to an attackable split view.
+func BenchmarkSuperblueEndToEnd(b *testing.B) {
+	const name = "superblue18"
+	scale := superblueBenchScale(b)
+	util, err := bench.SuperblueUtil(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lib := cell.NewNangate45Like()
+	b.Run(fmt.Sprintf("%s/scale%d", name, scale), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			nl, err := bench.Superblue(name, scale)
+			if err != nil {
+				b.Fatal(err)
+			}
+			d, err := correction.BuildOriginal(nl, lib, correction.Options{UtilPercent: util, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sv, err := d.Split(5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(sv.VPins) == 0 {
+				b.Fatal("split produced no vpins")
+			}
+		}
+	})
+}
