@@ -70,6 +70,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	matrix := fs.Bool("matrix", false, "run the defense x attacker cross matrix on the subset instead of an experiment")
 	suite := fs.Bool("suite", false, "run the multi-benchmark multi-seed suite on the subset instead of an experiment")
 	replicates := fs.Int("replicates", 3, "seed replicates per suite cell (-suite only)")
+	cacheDir := fs.String("cache-dir", "", "disk-backed result store: checkpoint every completed suite cell so a killed run resumes (-suite only)")
 	listDefenses := fs.Bool("list-defenses", false, "list the registered defense schemes and exit")
 	verbose := fs.Bool("v", false, "stream per-stage progress to stderr")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -123,11 +124,14 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if replicatesSet && !*suite {
 		return fmt.Errorf("-replicates only applies to -suite runs")
 	}
+	if *cacheDir != "" && !*suite {
+		return fmt.Errorf("-cache-dir only applies to -suite runs")
+	}
 	if *matrix {
 		return runMatrix(ctx, stdout, *subset, *defenses, *attackers, *seed, *words, *scale, *verbose)
 	}
 	if *suite {
-		return runSuite(ctx, stdout, *subset, *defenses, *attackers, *seed, *words, *scale, *replicates, *verbose)
+		return runSuite(ctx, stdout, *subset, *defenses, *attackers, *seed, *words, *scale, *replicates, *cacheDir, *verbose)
 	}
 
 	cfg := splitmfg.ExperimentConfig{
@@ -280,8 +284,10 @@ func runMatrix(ctx context.Context, stdout io.Writer, subset, defenses, attacker
 // runSuite evaluates the multi-benchmark, multi-seed suite over the subset
 // (default: the full catalog — slow at full pattern depth; narrow with
 // -subset) and renders the aggregated Tables 4/5-style report. Output is
-// buffered until the whole suite completed, so cancellation leaves none.
-func runSuite(ctx context.Context, stdout io.Writer, subset, defenses, attackers string, seed int64, words, scale, replicates int, verbose bool) error {
+// buffered until the whole suite completed, so cancellation leaves none —
+// but with -cache-dir every completed cell is already checkpointed on
+// disk, so rerunning after a Ctrl-C recomputes only what was in flight.
+func runSuite(ctx context.Context, stdout io.Writer, subset, defenses, attackers string, seed int64, words, scale, replicates int, cacheDir string, verbose bool) error {
 	schemes, err := splitmfg.ParseDefenses(defenses)
 	if err != nil {
 		return err
@@ -300,6 +306,9 @@ func runSuite(ctx context.Context, stdout io.Writer, subset, defenses, attackers
 		splitmfg.WithDefenses(schemes...),
 		splitmfg.WithAttackers(engines...),
 		splitmfg.WithReplicates(replicates),
+	}
+	if cacheDir != "" {
+		opts = append(opts, splitmfg.WithCacheDir(cacheDir))
 	}
 	if verbose {
 		opts = append(opts, splitmfg.WithProgress(splitmfg.ProgressLogger(os.Stderr)))

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"errors"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -100,6 +101,50 @@ func TestRunReplicatesRequiresSuite(t *testing.T) {
 	err := run(context.Background(), []string{"-matrix", "-replicates", "5"}, &out)
 	if err == nil || !strings.Contains(err.Error(), "-replicates") {
 		t.Fatalf("got %v, want -replicates usage error", err)
+	}
+}
+
+func TestRunCacheDirRequiresSuite(t *testing.T) {
+	// Only the suite scheduler checkpoints to disk; reject the flag
+	// elsewhere rather than silently ignoring it.
+	var out strings.Builder
+	err := run(context.Background(), []string{"-matrix", "-cache-dir", t.TempDir()}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-cache-dir") {
+		t.Fatalf("got %v, want -cache-dir usage error", err)
+	}
+}
+
+func TestRunSuiteResumesFromCacheDir(t *testing.T) {
+	// Two identical suite runs over one cache dir must render the same
+	// bytes, and the second must not write anything new to the store.
+	dir := t.TempDir()
+	args := []string{"-suite", "-subset", "c432", "-replicates", "2",
+		"-patterns", "16", "-defense", "pin-swapping", "-attacker", "random",
+		"-cache-dir", dir}
+	var first strings.Builder
+	if err := run(context.Background(), args, &first); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("first run persisted nothing")
+	}
+	var second strings.Builder
+	if err := run(context.Background(), args, &second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Fatalf("resumed render differs:\n%s\n----\n%s", first.String(), second.String())
+	}
+	after, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(entries) {
+		t.Fatalf("warm run grew the store from %d to %d entries", len(entries), len(after))
 	}
 }
 

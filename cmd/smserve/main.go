@@ -61,6 +61,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	jobs := fs.Int("jobs", 2, "max concurrently running jobs")
 	queue := fs.Int("queue", 64, "max queued jobs behind the running ones")
 	events := fs.Int("events", 4096, "per-job progress ring capacity for SSE replay")
+	cacheDir := fs.String("cache-dir", "", "disk-backed result store directory: identical requests are free across restarts and shared with smbench -suite -cache-dir runs")
+	cacheEntries := fs.Int("cache-entries", 256, "completed reports kept in the in-memory result cache (LRU beyond that)")
+	retain := fs.Duration("retain", time.Hour, "how long finished jobs stay pollable before the registry prunes them")
+	retainJobs := fs.Int("retain-jobs", 512, "max finished jobs kept in the registry")
 	drain := fs.Duration("drain", 15*time.Second, "shutdown grace period for running jobs")
 	verbose := fs.Bool("v", false, "log job lifecycle transitions to stderr")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof debug endpoints on this address (opt-in; keep it loopback-only)")
@@ -91,16 +95,26 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 
 	cfg := server.Config{
-		Parallelism: *parallelism,
-		MaxRunning:  *jobs,
-		QueueDepth:  *queue,
-		EventBuffer: *events,
+		Parallelism:  *parallelism,
+		MaxRunning:   *jobs,
+		QueueDepth:   *queue,
+		EventBuffer:  *events,
+		CacheDir:     *cacheDir,
+		CacheEntries: *cacheEntries,
+		RetainCount:  *retainJobs,
+		RetainTTL:    *retain,
 	}
 	if *verbose {
 		logger := log.New(os.Stderr, "smserve: ", log.LstdFlags)
 		cfg.Logf = logger.Printf
 	}
-	mgr := server.NewManager(cfg)
+	mgr, err := server.NewManager(cfg)
+	if err != nil {
+		return fmt.Errorf("-cache-dir: %v", err)
+	}
+	if *cacheDir != "" {
+		fmt.Fprintf(stdout, "smserve: result store at %s\n", *cacheDir)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -271,7 +271,12 @@ func suiteRowReport(row SuiteRow) SuiteRowReport {
 	return rep
 }
 
-// Report converts the suite result to its JSON-serializable form.
+// Report converts the suite result to its JSON-serializable form. The
+// cache counters are folded to their deterministic two-way form — disk
+// hits count as misses — so hits mean "repeat key requests" and misses
+// mean "first-time key requests", byte-identical whether the run was
+// fresh, resumed from a cache dir, or diskless. The raw three-way
+// breakdown stays on SuiteResult.Cache.
 func (s SuiteResult) Report(opt SuiteOptions) SuiteReport {
 	opt = opt.withDefaults()
 	rep := SuiteReport{
@@ -280,7 +285,7 @@ func (s SuiteResult) Report(opt SuiteOptions) SuiteReport {
 		SplitLayers: append([]int(nil), opt.SplitLayers...),
 		Defenses:    append([]string(nil), opt.Defenses...),
 		Attackers:   append([]string(nil), opt.Attackers...),
-		Cache:       s.Cache,
+		Cache:       CacheStats{Hits: s.Cache.Hits, Misses: s.Cache.Misses + s.Cache.DiskHits},
 	}
 	for _, b := range opt.Benchmarks {
 		rep.Benchmarks = append(rep.Benchmarks, b.Name)

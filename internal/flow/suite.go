@@ -2,6 +2,7 @@ package flow
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"math"
 	"runtime"
@@ -17,8 +18,15 @@ import (
 	"splitmfg/internal/defense/correction"
 	"splitmfg/internal/netlist"
 	"splitmfg/internal/route"
+	"splitmfg/internal/store"
 	"splitmfg/internal/timing"
 )
+
+// suiteKeySchema versions the suite's disk-store key format (the
+// baseline|/cell| strings below). Bump it whenever a result-affecting
+// algorithm changes without changing the key bytes, so stale entries
+// from older binaries are quarantined instead of trusted.
+const suiteKeySchema = 1
 
 // Suite-level stages, emitted through the same ProgressFunc stream the
 // rest of the flow uses.
@@ -73,6 +81,13 @@ type SuiteOptions struct {
 	// workers of concurrent suite jobs do not multiply; 1 = serial).
 	// Results are byte-identical at every level.
 	RouteParallelism int
+
+	// CacheDir, when non-empty, backs the suite cache with a disk-based
+	// content-addressed store (internal/store): every completed baseline
+	// and cell is checkpointed, so a killed run rerun with the same dir
+	// recomputes only the unfinished cells and produces a byte-identical
+	// result. Empty keeps the cache memory-only.
+	CacheDir string
 }
 
 func (o SuiteOptions) withDefaults() SuiteOptions {
@@ -108,13 +123,19 @@ func replicateSeed(seed int64, rep int) int64 {
 	return engine.DeriveSeed(seed, "suite/replicate/"+strconv.Itoa(rep))
 }
 
-// CacheStats counts suite-cache outcomes. Both counters are deterministic
-// for a given suite configuration — every job issues a fixed set of key
-// requests and misses are exactly the distinct keys — so they are safe to
-// serialize into byte-stable reports.
+// CacheStats counts suite-cache outcomes three ways: Hits are repeat
+// requests served from the in-memory tier, DiskHits are first requests
+// served from the disk store, Misses are first requests that computed.
+// Hits and DiskHits+Misses are deterministic for a given suite
+// configuration — every job issues a fixed set of key requests and the
+// first request per distinct key is either a disk hit or a miss — so the
+// folded form (SuiteResult.Report collapses disk hits into misses) is
+// safe to serialize into byte-stable reports, identical whether a run was
+// fresh, resumed, or diskless.
 type CacheStats struct {
-	Hits   int `json:"hits"`
-	Misses int `json:"misses"`
+	Hits     int `json:"hits"`
+	Misses   int `json:"misses"`
+	DiskHits int `json:"disk_hits,omitempty"`
 }
 
 // cacheEntry is one in-flight or completed computation. ready is closed
@@ -125,24 +146,33 @@ type cacheEntry struct {
 	err   error
 }
 
-// suiteCache is the content-addressed in-memory result cache shared by a
-// whole suite run. Keys encode every input that determines the value
-// (bench/scale/defense/fraction/attackers/split-layers/seed/...), so a
-// lookup can never conflate two different computations. It deduplicates
-// concurrent requests singleflight-style: the first requester computes
-// inline, later requesters for the same key count a hit and block until
-// the value is ready.
+// suiteCache is the content-addressed result cache shared by a whole
+// suite run: an in-memory singleflight tier, optionally backed by a
+// disk store (SuiteOptions.CacheDir) that persists every completed
+// value and survives the process. Keys encode every input that
+// determines the value (bench/scale/defense/fraction/attackers/
+// split-layers/seed/...), so a lookup can never conflate two different
+// computations. Concurrent requests deduplicate singleflight-style: the
+// first requester consults the disk and computes on a disk miss, later
+// requesters for the same key count a hit and block until the value is
+// ready.
 type suiteCache struct {
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
 	stats   CacheStats
+	disk    *store.Store // nil = memory-only
 }
 
-func newSuiteCache() *suiteCache {
-	return &suiteCache{entries: map[string]*cacheEntry{}}
+func newSuiteCache(disk *store.Store) *suiteCache {
+	return &suiteCache{entries: map[string]*cacheEntry{}, disk: disk}
 }
 
-func (c *suiteCache) do(key string, compute func() (any, error)) (any, error) {
+// do returns the cached (or freshly computed) value for key. decode
+// rebuilds the typed value from the disk tier's raw JSON; compute runs
+// only when both tiers miss, and its successful result is checkpointed
+// to disk best-effort (a failed write degrades to uncached, it never
+// fails the suite).
+func (c *suiteCache) do(key string, decode func([]byte) (any, error), compute func() (any, error)) (any, error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.stats.Hits++
@@ -152,9 +182,26 @@ func (c *suiteCache) do(key string, compute func() (any, error)) (any, error) {
 	}
 	e := &cacheEntry{ready: make(chan struct{})}
 	c.entries[key] = e
+	c.mu.Unlock()
+	if raw, ok := c.disk.Get(key); ok {
+		if v, err := decode(raw); err == nil {
+			c.mu.Lock()
+			c.stats.DiskHits++
+			c.mu.Unlock()
+			e.val = v
+			close(e.ready)
+			return v, nil
+		}
+		// A value that no longer decodes is as good as absent; fall
+		// through and recompute (the rewrite replaces it).
+	}
+	c.mu.Lock()
 	c.stats.Misses++
 	c.mu.Unlock()
 	e.val, e.err = compute()
+	if e.err == nil {
+		c.disk.Put(key, e.val)
+	}
 	close(e.ready)
 	return e.val, e.err
 }
@@ -331,7 +378,15 @@ func EvaluateSuite(ctx context.Context, lib *cell.Library, opt SuiteOptions) (Su
 		}
 	}
 
-	cache := newSuiteCache()
+	var disk *store.Store
+	if opt.CacheDir != "" {
+		var err error
+		disk, err = store.Open(opt.CacheDir, store.Options{KeySchema: suiteKeySchema})
+		if err != nil {
+			return out, fmt.Errorf("flow: suite cache dir: %w", err)
+		}
+	}
+	cache := newSuiteCache(disk)
 	workers := opt.Parallelism
 	if workers > numJobs {
 		workers = numJobs
@@ -417,7 +472,12 @@ func EvaluateSuite(ctx context.Context, lib *cell.Library, opt SuiteOptions) (Su
 func suiteBaseline(ctx context.Context, cache *suiteCache, b SuiteBenchmark,
 	lib *cell.Library, seed int64, routeP int, em *emitter) (timing.PPA, error) {
 	key := "baseline|" + b.cacheKey(seed)
-	v, err := cache.do(key, func() (any, error) {
+	decode := func(raw []byte) (any, error) {
+		var ppa timing.PPA
+		err := json.Unmarshal(raw, &ppa)
+		return ppa, err
+	}
+	v, err := cache.do(key, decode, func() (any, error) {
 		start := time.Now()
 		if err := ctx.Err(); err != nil {
 			return timing.PPA{}, err
@@ -461,7 +521,12 @@ func suiteCell(ctx context.Context, cache *suiteCache, b SuiteBenchmark, lib *ce
 	key := fmt.Sprintf("cell|%s|defense=%s|fraction=%g|oer=%g|attackers=%s|layers=%v|words=%d|seed=%d",
 		b.cacheKey(opt.Seed), defense, opt.Fraction, opt.TargetOER,
 		strings.Join(opt.Attackers, ","), opt.SplitLayers, opt.PatternWords, repSeed)
-	v, err := cache.do(key, func() (any, error) {
+	decode := func(raw []byte) (any, error) {
+		var row MatrixRow
+		err := json.Unmarshal(raw, &row)
+		return row, err
+	}
+	v, err := cache.do(key, decode, func() (any, error) {
 		row, err := evaluateDefense(ctx, b.Netlist, lib, defense, base, inner, MatrixOptions{
 			Attackers:        opt.Attackers,
 			SplitLayers:      opt.SplitLayers,

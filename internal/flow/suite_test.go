@@ -5,6 +5,9 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
@@ -242,5 +245,150 @@ func TestEvaluateSuiteCancellation(t *testing.T) {
 	cancel()
 	if _, err := EvaluateSuite(ctx, lib, opt); !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled suite returned %v, want context.Canceled", err)
+	}
+}
+
+// storeEntries counts the result-store entry files at the top of dir
+// (quarantine subdir and temp files excluded) — each one is one
+// checkpointed baseline or cell.
+func storeEntries(t *testing.T, dir string) int {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			n++
+		}
+	}
+	return n
+}
+
+// TestEvaluateSuiteResumesFromCacheDir is the crash-resume contract: a
+// suite run killed mid-flight and rerun with the same cache dir produces
+// a byte-identical report while recomputing only the cells that had not
+// completed — every checkpointed entry comes back as a disk hit.
+func TestEvaluateSuiteResumesFromCacheDir(t *testing.T) {
+	lib, opt := suiteFixture(t, "c432", "c880")
+	opt.Parallelism = 4
+
+	// Reference: an uninterrupted, diskless run.
+	ref, err := EvaluateSuite(context.Background(), lib, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := marshalSuite(t, ref, opt)
+
+	// Run 1: same suite against a cache dir, canceled after the second
+	// completed cell — the simulated crash.
+	opt.CacheDir = t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var mu sync.Mutex
+	cells := 0
+	opt.Progress = func(ev Event) {
+		if ev.Stage != StageSuiteCell {
+			return
+		}
+		mu.Lock()
+		cells++
+		if cells == 2 {
+			cancel()
+		}
+		mu.Unlock()
+	}
+	if _, err := EvaluateSuite(ctx, lib, opt); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run returned %v, want context.Canceled", err)
+	}
+	persisted := storeEntries(t, opt.CacheDir)
+	B, D, R := len(opt.Benchmarks), len(opt.Defenses), opt.Replicates
+	distinct := B + B*D*R
+	if persisted < 3 || persisted >= distinct {
+		// At least the two observed cells and a baseline made it to disk;
+		// the cancellation must also have left work to resume.
+		t.Fatalf("interrupted run persisted %d entries, want 3..%d", persisted, distinct-1)
+	}
+
+	// Run 2: resumed. Identical bytes; disk hits are exactly the
+	// checkpointed entries; only the rest recomputes.
+	opt.Progress = nil
+	res, err := EvaluateSuite(context.Background(), lib, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := marshalSuite(t, res, opt); !bytes.Equal(got, want) {
+		t.Fatalf("resumed report differs from the uninterrupted run:\n%s\n----\n%s", got, want)
+	}
+	if res.Cache.DiskHits != persisted || res.Cache.Misses != distinct-persisted {
+		t.Fatalf("resumed stats = %+v, want %d disk hits / %d misses", res.Cache, persisted, distinct-persisted)
+	}
+	if res.Cache.Hits != B*D*R {
+		t.Fatalf("resumed stats = %+v, want %d memory hits", res.Cache, B*D*R)
+	}
+
+	// Run 3: fully warm — nothing computes, bytes still identical.
+	warm, err := EvaluateSuite(context.Background(), lib, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Cache.DiskHits != distinct || warm.Cache.Misses != 0 {
+		t.Fatalf("warm stats = %+v, want %d disk hits / 0 misses", warm.Cache, distinct)
+	}
+	if got := marshalSuite(t, warm, opt); !bytes.Equal(got, want) {
+		t.Fatal("warm report differs from the uninterrupted run")
+	}
+}
+
+// TestEvaluateSuiteCorruptEntryQuarantinedAndRecomputed: one truncated
+// store file costs exactly one recompute — the entry is quarantined, the
+// rest of the store is trusted, and the report is unchanged.
+func TestEvaluateSuiteCorruptEntryQuarantinedAndRecomputed(t *testing.T) {
+	lib, opt := suiteFixture(t, "c432")
+	opt.CacheDir = t.TempDir()
+	first, err := EvaluateSuite(context.Background(), lib, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := marshalSuite(t, first, opt)
+
+	ents, err := os.ReadDir(opt.CacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truncated := ""
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			truncated = filepath.Join(opt.CacheDir, e.Name())
+			break
+		}
+	}
+	if truncated == "" {
+		t.Fatal("no store entries written")
+	}
+	if err := os.Truncate(truncated, 7); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := EvaluateSuite(context.Background(), lib, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	B, D, R := len(opt.Benchmarks), len(opt.Defenses), opt.Replicates
+	distinct := B + B*D*R
+	if res.Cache.DiskHits != distinct-1 || res.Cache.Misses != 1 {
+		t.Fatalf("stats = %+v, want %d disk hits / 1 miss", res.Cache, distinct-1)
+	}
+	if got := marshalSuite(t, res, opt); !bytes.Equal(got, want) {
+		t.Fatal("report changed after a corrupt-entry recompute")
+	}
+	q, err := os.ReadDir(filepath.Join(opt.CacheDir, "quarantine"))
+	if err != nil || len(q) != 1 {
+		t.Fatalf("quarantine holds %d files (%v), want 1", len(q), err)
+	}
+	// The recompute rewrote the slot: a third run is fully warm again.
+	if storeEntries(t, opt.CacheDir) != distinct {
+		t.Fatal("corrupt entry was not rewritten")
 	}
 }

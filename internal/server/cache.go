@@ -1,25 +1,35 @@
 package server
 
 import (
+	"container/list"
 	"context"
 	"sync"
+
+	"splitmfg/internal/store"
 )
 
-// CacheStats counts result-cache outcomes across the server's lifetime. A
-// hit is a job whose report was shared from another job's computation
-// (completed or still in flight); a miss is a job that computed its report
-// itself.
+// CacheStats counts result-cache outcomes across the server's lifetime.
+// A hit is a job whose report was shared from another job's computation
+// (completed or still in flight), a disk hit one served from the
+// disk-backed store, a miss a job that computed its report itself.
+// Evictions counts completed entries dropped from memory by the LRU cap
+// (the disk tier, when configured, still holds them).
 type CacheStats struct {
-	Hits   int `json:"hits"`
-	Misses int `json:"misses"`
+	Hits      int `json:"hits"`
+	Misses    int `json:"misses"`
+	DiskHits  int `json:"disk_hits"`
+	Evictions int `json:"evictions"`
 }
 
 // cacheEntry is one in-flight or completed computation; ready is closed
-// when val/err are final.
+// when val/err are final. elem is the entry's slot in the LRU list —
+// nil while the computation is in flight, so in-flight entries are
+// never eviction candidates.
 type cacheEntry struct {
 	ready chan struct{}
 	val   any
 	err   error
+	elem  *list.Element
 }
 
 // resultCache is the process-wide content-addressed result cache shared by
@@ -31,24 +41,59 @@ type cacheEntry struct {
 // is ready and count a hit. Failed computations are evicted before their
 // waiters wake, so a canceled or crashed job never poisons the key: a
 // waiter that observes the failure retries the lookup and computes itself.
+//
+// Completed entries live in a maxEntries-capped LRU (in-flight entries
+// are never evicted), fixing the unbounded growth a long-running server
+// would otherwise accumulate. When a disk store is attached, evicted or
+// never-seen entries can still be served from disk, and every computed
+// report is checkpointed there, surviving restarts.
 type resultCache struct {
-	mu      sync.Mutex
-	entries map[string]*cacheEntry
-	stats   CacheStats
+	mu         sync.Mutex
+	entries    map[string]*cacheEntry
+	order      *list.List // completed entries, most recently used first; values are keys
+	maxEntries int
+	stats      CacheStats
+	disk       *store.Store // nil = memory-only
 }
 
-func newResultCache() *resultCache {
-	return &resultCache{entries: map[string]*cacheEntry{}}
+func newResultCache(maxEntries int, disk *store.Store) *resultCache {
+	if maxEntries <= 0 {
+		maxEntries = 256
+	}
+	return &resultCache{
+		entries:    map[string]*cacheEntry{},
+		order:      list.New(),
+		maxEntries: maxEntries,
+		disk:       disk,
+	}
+}
+
+// complete marks e done under mu: it joins the LRU as most recent and
+// the cap is enforced by dropping the least recently used completed
+// entries.
+func (c *resultCache) complete(key string, e *cacheEntry) {
+	e.elem = c.order.PushFront(key)
+	for c.order.Len() > c.maxEntries {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(string))
+		c.stats.Evictions++
+	}
 }
 
 // do returns the cached (or freshly computed) value for key. hit reports
-// whether the value came from another request's computation. The context
-// bounds only the wait on an in-flight sibling — it does not cancel the
-// sibling's computation, which other waiters may still want.
-func (c *resultCache) do(ctx context.Context, key string, compute func() (any, error)) (val any, hit bool, err error) {
+// whether the value came from another request's computation or from the
+// disk store. decode rebuilds the typed value from the disk tier's raw
+// JSON (nil skips the disk tier for this call). The context bounds only
+// the wait on an in-flight sibling — it does not cancel the sibling's
+// computation, which other waiters may still want.
+func (c *resultCache) do(ctx context.Context, key string, decode func([]byte) (any, error), compute func() (any, error)) (val any, hit bool, err error) {
 	for {
 		c.mu.Lock()
 		if e, ok := c.entries[key]; ok {
+			if e.elem != nil {
+				c.order.MoveToFront(e.elem)
+			}
 			c.mu.Unlock()
 			select {
 			case <-ctx.Done():
@@ -67,13 +112,36 @@ func (c *resultCache) do(ctx context.Context, key string, compute func() (any, e
 		}
 		e := &cacheEntry{ready: make(chan struct{})}
 		c.entries[key] = e
+		c.mu.Unlock()
+		if decode != nil {
+			if raw, ok := c.disk.Get(key); ok {
+				if v, derr := decode(raw); derr == nil {
+					c.mu.Lock()
+					c.stats.DiskHits++
+					c.complete(key, e)
+					c.mu.Unlock()
+					e.val = v
+					close(e.ready)
+					return v, true, nil
+				}
+				// Undecodable value: treat as absent and recompute (the
+				// rewrite below replaces it).
+			}
+		}
+		c.mu.Lock()
 		c.stats.Misses++
 		c.mu.Unlock()
 		e.val, e.err = compute()
+		c.mu.Lock()
 		if e.err != nil {
-			c.mu.Lock()
 			delete(c.entries, key)
-			c.mu.Unlock()
+		} else {
+			c.complete(key, e)
+		}
+		c.mu.Unlock()
+		if e.err == nil {
+			// Best-effort checkpoint; a failed write degrades to uncached.
+			c.disk.Put(key, e.val)
 		}
 		close(e.ready)
 		return e.val, false, e.err

@@ -71,7 +71,7 @@ func NewHandler(m *Manager) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		job, ok := m.Get(r.PathValue("id"))
 		if !ok {
-			writeError(w, http.StatusNotFound, "no such job")
+			writeMissing(w, m, r.PathValue("id"))
 			return
 		}
 		writeJSON(w, http.StatusOK, statusResponse{Info: job.Info(), Report: job.Report()})
@@ -79,7 +79,7 @@ func NewHandler(m *Manager) http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		job, ok := m.Cancel(r.PathValue("id"))
 		if !ok {
-			writeError(w, http.StatusNotFound, "no such job")
+			writeMissing(w, m, r.PathValue("id"))
 			return
 		}
 		writeJSON(w, http.StatusOK, job.Info())
@@ -87,12 +87,23 @@ func NewHandler(m *Manager) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
 		job, ok := m.Get(r.PathValue("id"))
 		if !ok {
-			writeError(w, http.StatusNotFound, "no such job")
+			writeMissing(w, m, r.PathValue("id"))
 			return
 		}
 		streamEvents(w, r, job)
 	})
 	return mux
+}
+
+// writeMissing answers a lookup that found no job: a pruned job gets a
+// 404 whose body says it expired (it existed; its retention window
+// closed), anything else the plain "no such job".
+func writeMissing(w http.ResponseWriter, m *Manager, id string) {
+	if m.Expired(id) {
+		writeError(w, http.StatusNotFound, "job expired: finished and pruned by the retention policy")
+		return
+	}
+	writeError(w, http.StatusNotFound, "no such job")
 }
 
 // streamEvents serves one job's progress stream: the retained history

@@ -152,6 +152,14 @@ func (j *Job) markCanceled() {
 	close(j.done)
 }
 
+// terminalSince returns the job's finish time and whether it reached a
+// terminal state — the retention policy's pruning criterion.
+func (j *Job) terminalSince() (time.Time, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.finished, j.state.terminal()
+}
+
 // requestCancel asks the job to stop: a queued job finalizes immediately, a
 // running one has its context canceled and finalizes when the flow unwinds.
 func (j *Job) requestCancel() {

@@ -5,11 +5,19 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"splitmfg"
+	"splitmfg/internal/store"
 )
+
+// resultKeySchema versions the server's disk-store key format
+// (JobRequest.CacheKey). Bump it whenever cached reports become stale
+// without the key bytes changing.
+const resultKeySchema = 1
 
 // Submission errors the handlers map to HTTP status codes.
 var (
@@ -37,6 +45,23 @@ type Config struct {
 	// EventBuffer is the per-job progress ring capacity: how many events a
 	// late SSE subscriber can replay (default 4096).
 	EventBuffer int
+	// CacheDir, when non-empty, backs the result cache with the
+	// disk-based content-addressed store rooted there: identical requests
+	// are free across restarts (and across smbench runs sharing the
+	// directory), and suite jobs checkpoint their per-cell results into
+	// the same store. Empty keeps the cache memory-only.
+	CacheDir string
+	// CacheEntries caps how many completed reports the in-memory result
+	// cache retains, LRU-evicted beyond that (default 256; in-flight
+	// computations are never evicted).
+	CacheEntries int
+	// RetainCount caps how many finished jobs the registry keeps for
+	// status polls and listings (default 512). Oldest finished jobs are
+	// pruned first; queued and running jobs are never pruned.
+	RetainCount int
+	// RetainTTL caps how long a finished job stays in the registry
+	// (default 1h).
+	RetainTTL time.Duration
 	// Logf, when non-nil, receives one line per job lifecycle transition.
 	Logf func(format string, args ...any)
 }
@@ -53,6 +78,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.EventBuffer <= 0 {
 		c.EventBuffer = 4096
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 256
+	}
+	if c.RetainCount <= 0 {
+		c.RetainCount = 512
+	}
+	if c.RetainTTL <= 0 {
+		c.RetainTTL = time.Hour
 	}
 	return c
 }
@@ -89,13 +123,24 @@ type Manager struct {
 	wg    sync.WaitGroup // the MaxRunning workers
 }
 
-// NewManager starts a manager with cfg's worker pool running.
-func NewManager(cfg Config) *Manager {
+// NewManager starts a manager with cfg's worker pool running. It fails
+// only when cfg.CacheDir is set but cannot be created.
+func NewManager(cfg Config) (*Manager, error) {
 	cfg = cfg.withDefaults()
+	var disk *store.Store
+	if cfg.CacheDir != "" {
+		var err error
+		disk, err = store.Open(cfg.CacheDir, store.Options{
+			KeySchema: resultKeySchema, Logf: cfg.Logf,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		cfg:     cfg,
-		cache:   newResultCache(),
+		cache:   newResultCache(cfg.CacheEntries, disk),
 		baseCtx: ctx,
 		stopAll: cancel,
 		jobs:    map[string]*Job{},
@@ -110,7 +155,7 @@ func NewManager(cfg Config) *Manager {
 			}
 		}()
 	}
-	return m
+	return m, nil
 }
 
 func (m *Manager) logf(format string, args ...any) {
@@ -131,6 +176,7 @@ func (m *Manager) Submit(req splitmfg.JobRequest) (*Job, error) {
 		m.mu.Unlock()
 		return nil, ErrShuttingDown
 	}
+	m.pruneLocked()
 	m.nextID++
 	job := newJob(fmt.Sprintf("job-%06d", m.nextID), req, m.cfg.EventBuffer)
 	select {
@@ -155,19 +201,81 @@ func (m *Manager) Submit(req splitmfg.JobRequest) (*Job, error) {
 func (m *Manager) Get(id string) (*Job, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.pruneLocked()
 	j, ok := m.jobs[id]
 	return j, ok
+}
+
+// Expired reports whether id names a job that was admitted but has since
+// been pruned by the retention policy. Needs no tombstone bookkeeping:
+// IDs are assigned sequentially, so any well-formed ID at or below the
+// high-water mark that is absent from the registry was pruned.
+func (m *Manager) Expired(id string) bool {
+	rest, found := strings.CutPrefix(id, "job-")
+	if !found {
+		return false
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || fmt.Sprintf("job-%06d", n) != id {
+		return false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.jobs[id]; ok {
+		return false
+	}
+	return n >= 1 && n <= m.nextID
 }
 
 // Jobs lists every known job in submission order.
 func (m *Manager) Jobs() []*Job {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.pruneLocked()
 	out := make([]*Job, 0, len(m.order))
 	for _, id := range m.order {
 		out = append(out, m.jobs[id])
 	}
 	return out
+}
+
+// pruneLocked enforces the finished-job retention policy under m.mu:
+// terminal jobs older than RetainTTL are dropped, and the oldest
+// terminal jobs beyond RetainCount are dropped. Queued and running jobs
+// are untouched; SSE subscribers holding a pruned *Job keep draining its
+// (closed) event log unaffected.
+func (m *Manager) pruneLocked() {
+	cutoff := time.Now().Add(-m.cfg.RetainTTL)
+	type fin struct {
+		id string
+		at time.Time
+	}
+	finished := make([]fin, 0, len(m.order))
+	for _, id := range m.order {
+		if at, done := m.jobs[id].terminalSince(); done {
+			finished = append(finished, fin{id, at})
+		}
+	}
+	excess := len(finished) - m.cfg.RetainCount
+	pruned := false
+	for _, f := range finished {
+		if excess > 0 || f.at.Before(cutoff) {
+			delete(m.jobs, f.id)
+			excess--
+			pruned = true
+			m.logf("pruned %s (retention policy)", f.id)
+		}
+	}
+	if !pruned {
+		return
+	}
+	kept := m.order[:0]
+	for _, id := range m.order {
+		if _, ok := m.jobs[id]; ok {
+			kept = append(kept, id)
+		}
+	}
+	m.order = kept
 }
 
 // Cancel requests cancellation of the job by ID.
@@ -184,6 +292,7 @@ func (m *Manager) Cancel(id string) (*Job, bool) {
 // Stats snapshots the registry and cache counters.
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()
+	m.pruneLocked()
 	jobs := make([]*Job, 0, len(m.jobs))
 	for _, j := range m.jobs {
 		jobs = append(jobs, j)
@@ -235,7 +344,16 @@ func (m *Manager) runJob(job *Job) {
 		// its own route parallelism keeps it.
 		extra = append(extra, splitmfg.WithRouteParallelism(share))
 	}
-	val, hit, err := m.cache.do(jobCtx, job.req.CacheKey(), func() (any, error) {
+	if m.cfg.CacheDir != "" {
+		// Suite jobs checkpoint their per-cell results into the same
+		// store, so a drained server resumes a half-finished suite and
+		// smbench runs sharing the directory reuse its cells.
+		extra = append(extra, splitmfg.WithCacheDir(m.cfg.CacheDir))
+	}
+	decode := func(raw []byte) (any, error) {
+		return splitmfg.DecodeReport(job.req.Kind, raw)
+	}
+	val, hit, err := m.cache.do(jobCtx, job.req.CacheKey(), decode, func() (any, error) {
 		return job.req.Run(jobCtx, extra...)
 	})
 	if hit {

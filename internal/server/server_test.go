@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -19,7 +20,10 @@ import (
 // both torn down with the test.
 func newTestServer(t *testing.T, cfg Config) (*Manager, *httptest.Server) {
 	t.Helper()
-	m := NewManager(cfg)
+	m, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(NewHandler(m))
 	t.Cleanup(func() {
 		ts.Close()
@@ -487,5 +491,52 @@ func TestJobListing(t *testing.T) {
 	}
 	if len(list.Jobs) != 2 || list.Jobs[0].ID != a.ID || list.Jobs[1].ID != b.ID {
 		t.Fatalf("job listing = %+v, want [%s %s] in order", list.Jobs, a.ID, b.ID)
+	}
+}
+
+// TestResultStoreSurvivesRestart runs the same suite job against two
+// successive servers sharing one -cache-dir: the second server must serve
+// the report from disk (a cache hit with zero misses) and the store must
+// also hold the suite's inner baseline/cell checkpoints, since suite jobs
+// thread the cache dir down into the flow scheduler.
+func TestResultStoreSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	req := smallRequest(splitmfg.JobSuite)
+
+	_, ts1 := newTestServer(t, Config{MaxRunning: 1, CacheDir: dir})
+	first := waitTerminal(t, ts1, submit(t, ts1, req).ID)
+	if first.State != StateDone {
+		t.Fatalf("first run state = %s, want done", first.State)
+	}
+	if first.CacheHit {
+		t.Fatal("first run on an empty store was a cache hit")
+	}
+	firstReport := getStatus(t, ts1, first.ID).Report
+	ts1.Close()
+
+	_, ts2 := newTestServer(t, Config{MaxRunning: 1, CacheDir: dir})
+	second := waitTerminal(t, ts2, submit(t, ts2, req).ID)
+	if second.State != StateDone {
+		t.Fatalf("restarted run state = %s, want done", second.State)
+	}
+	if !second.CacheHit {
+		t.Fatal("restarted run did not hit the disk store")
+	}
+	if !bytes.Equal(getStatus(t, ts2, second.ID).Report, firstReport) {
+		t.Fatal("restarted report differs from the computed one")
+	}
+	st := getStats(t, ts2)
+	if st.Cache.DiskHits != 1 || st.Cache.Misses != 0 {
+		t.Fatalf("restarted cache stats = %+v, want 1 disk hit / 0 misses", st.Cache)
+	}
+	// The store holds the server-level report plus the suite's own
+	// baseline and cell checkpoints (1 benchmark × 1 defense × 1 attacker
+	// × default replicates ≥ 1).
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries := len(files); entries < 3 {
+		t.Fatalf("store holds %d entries, want the report plus suite checkpoints (>= 3)", entries)
 	}
 }

@@ -2,12 +2,16 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
 	"splitmfg"
+	"splitmfg/internal/store"
 )
 
 func TestEventLogOverflowKeepsTail(t *testing.T) {
@@ -111,14 +115,14 @@ func TestEventLogSlowSubscriberDrops(t *testing.T) {
 }
 
 func TestResultCacheHitAndStats(t *testing.T) {
-	c := newResultCache()
+	c := newResultCache(0, nil)
 	calls := 0
 	compute := func() (any, error) { calls++; return 42, nil }
-	v, hit, err := c.do(context.Background(), "k", compute)
+	v, hit, err := c.do(context.Background(), "k", nil, compute)
 	if err != nil || hit || v != 42 {
 		t.Fatalf("first do = (%v, %v, %v), want (42, false, nil)", v, hit, err)
 	}
-	v, hit, err = c.do(context.Background(), "k", compute)
+	v, hit, err = c.do(context.Background(), "k", nil, compute)
 	if err != nil || !hit || v != 42 {
 		t.Fatalf("second do = (%v, %v, %v), want (42, true, nil)", v, hit, err)
 	}
@@ -131,13 +135,13 @@ func TestResultCacheHitAndStats(t *testing.T) {
 }
 
 func TestResultCacheFailureEvicted(t *testing.T) {
-	c := newResultCache()
+	c := newResultCache(0, nil)
 	boom := errors.New("boom")
-	if _, _, err := c.do(context.Background(), "k", func() (any, error) { return nil, boom }); !errors.Is(err, boom) {
+	if _, _, err := c.do(context.Background(), "k", nil, func() (any, error) { return nil, boom }); !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want boom", err)
 	}
 	// The failed computation must not poison the key.
-	v, hit, err := c.do(context.Background(), "k", func() (any, error) { return "ok", nil })
+	v, hit, err := c.do(context.Background(), "k", nil, func() (any, error) { return "ok", nil })
 	if err != nil || hit || v != "ok" {
 		t.Fatalf("retry = (%v, %v, %v), want (ok, false, nil)", v, hit, err)
 	}
@@ -147,7 +151,7 @@ func TestResultCacheFailureEvicted(t *testing.T) {
 }
 
 func TestResultCacheSingleflight(t *testing.T) {
-	c := newResultCache()
+	c := newResultCache(0, nil)
 	release := make(chan struct{})
 	computing := make(chan struct{})
 	type result struct {
@@ -157,7 +161,7 @@ func TestResultCacheSingleflight(t *testing.T) {
 	}
 	results := make(chan result, 1)
 	go func() {
-		v, hit, err := c.do(context.Background(), "k", func() (any, error) {
+		v, hit, err := c.do(context.Background(), "k", nil, func() (any, error) {
 			close(computing)
 			<-release
 			return "shared", nil
@@ -167,7 +171,7 @@ func TestResultCacheSingleflight(t *testing.T) {
 	<-computing
 	waiter := make(chan result, 1)
 	go func() {
-		v, hit, err := c.do(context.Background(), "k", func() (any, error) {
+		v, hit, err := c.do(context.Background(), "k", nil, func() (any, error) {
 			t.Error("waiter should not compute")
 			return nil, nil
 		})
@@ -176,7 +180,7 @@ func TestResultCacheSingleflight(t *testing.T) {
 	// A waiter whose context dies gives up without canceling the computer.
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, _, err := c.do(ctx, "k", nil); !errors.Is(err, context.Canceled) {
+	if _, _, err := c.do(ctx, "k", nil, nil); !errors.Is(err, context.Canceled) {
 		t.Fatalf("canceled waiter returned %v, want context.Canceled", err)
 	}
 	close(release)
@@ -212,7 +216,10 @@ func TestManagerShare(t *testing.T) {
 // TestQueueFullAndShutdown: submissions beyond the queue bound are
 // rejected; Shutdown cancels queued and running jobs and refuses new ones.
 func TestQueueFullAndShutdown(t *testing.T) {
-	m := NewManager(Config{Parallelism: 1, MaxRunning: 1, QueueDepth: 1})
+	m, err := NewManager(Config{Parallelism: 1, MaxRunning: 1, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	// A slow job to occupy the single worker slot.
 	blocker, err := m.Submit(splitmfg.JobRequest{
 		Kind:       splitmfg.JobSuite,
@@ -317,5 +324,200 @@ func TestJobCancelRacesAdmission(t *testing.T) {
 	k.finish(nil, false, fmt.Errorf("stage: %w", context.Canceled))
 	if k.State() != StateCanceled {
 		t.Fatalf("cancellation error classified as %s", k.State())
+	}
+}
+
+func TestResultCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2, nil)
+	put := func(k string) (any, bool) {
+		t.Helper()
+		v, hit, err := c.do(context.Background(), k, nil, func() (any, error) { return k, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v, hit
+	}
+	put("a")
+	put("b")
+	put("c") // over the cap: "a" (least recently used) falls out
+	if st := c.snapshot(); st.Evictions != 1 || st.Misses != 3 {
+		t.Fatalf("stats = %+v, want 1 eviction / 3 misses", st)
+	}
+	if _, hit := put("b"); !hit {
+		t.Fatal("recently used entry was evicted")
+	}
+	if _, hit := put("a"); hit {
+		t.Fatal("evicted entry still served")
+	}
+	// Re-adding "a" displaced the now-least-recent "c".
+	if st := c.snapshot(); st.Evictions != 2 || st.Misses != 4 || st.Hits != 1 {
+		t.Fatalf("stats = %+v, want 2 evictions / 4 misses / 1 hit", st)
+	}
+}
+
+func TestResultCacheInFlightNeverEvicted(t *testing.T) {
+	c := newResultCache(1, nil)
+	release := make(chan struct{})
+	computing := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, _, err := c.do(context.Background(), "slow", nil, func() (any, error) {
+			close(computing)
+			<-release
+			return "slow-value", nil
+		})
+		if err != nil || v != "slow-value" {
+			t.Errorf("slow compute = (%v, %v)", v, err)
+		}
+	}()
+	<-computing
+	// Churn the cache past its cap while "slow" is still in flight: only
+	// completed entries may be evicted.
+	for _, k := range []string{"x", "y", "z"} {
+		if _, _, err := c.do(context.Background(), k, nil, func() (any, error) { return k, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(release)
+	<-done
+	v, hit, err := c.do(context.Background(), "slow", nil, func() (any, error) {
+		t.Error("in-flight entry was evicted and recomputed")
+		return nil, nil
+	})
+	if err != nil || !hit || v != "slow-value" {
+		t.Fatalf("post-completion lookup = (%v, %v, %v), want the in-flight survivor", v, hit, err)
+	}
+}
+
+func TestResultCacheDiskTierSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	openStore := func() *store.Store {
+		t.Helper()
+		st, err := store.Open(dir, store.Options{KeySchema: resultKeySchema})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	decode := func(raw []byte) (any, error) {
+		var s string
+		err := json.Unmarshal(raw, &s)
+		return s, err
+	}
+	c1 := newResultCache(4, openStore())
+	if _, _, err := c1.do(context.Background(), "k", decode, func() (any, error) { return "v", nil }); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh cache over the same directory — the process restart — must
+	// serve the key from disk without computing.
+	c2 := newResultCache(4, openStore())
+	v, hit, err := c2.do(context.Background(), "k", decode, func() (any, error) {
+		t.Error("disk-backed key recomputed")
+		return nil, nil
+	})
+	if err != nil || !hit || v != "v" {
+		t.Fatalf("restarted lookup = (%v, %v, %v), want a disk hit", v, hit, err)
+	}
+	if st := c2.snapshot(); st.DiskHits != 1 || st.Misses != 0 {
+		t.Fatalf("stats = %+v, want 1 disk hit / 0 misses", st)
+	}
+}
+
+// injectFinished registers n already-terminal jobs with sequential IDs,
+// the retention policy's raw material, bypassing the queue.
+func injectFinished(t *testing.T, m *Manager, n int) {
+	t.Helper()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := 1; i <= n; i++ {
+		id := fmt.Sprintf("job-%06d", i)
+		j := newJob(id, smallRequest(splitmfg.JobEvaluate), 4)
+		j.markCanceled()
+		m.jobs[id] = j
+		m.order = append(m.order, id)
+		m.nextID = i
+	}
+}
+
+func TestManagerRetentionCountPrunes(t *testing.T) {
+	m, err := NewManager(Config{MaxRunning: 1, RetainCount: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Shutdown(context.Background())
+	injectFinished(t, m, 4)
+	jobs := m.Jobs() // any registry read applies the policy
+	if len(jobs) != 2 || jobs[0].ID() != "job-000003" || jobs[1].ID() != "job-000004" {
+		ids := make([]string, len(jobs))
+		for i, j := range jobs {
+			ids[i] = j.ID()
+		}
+		t.Fatalf("retained %v, want the 2 newest", ids)
+	}
+	if _, ok := m.Get("job-000001"); ok {
+		t.Fatal("pruned job still resolvable")
+	}
+	if !m.Expired("job-000001") {
+		t.Fatal("pruned job not reported expired")
+	}
+	if m.Expired("job-000004") {
+		t.Fatal("live job reported expired")
+	}
+	if m.Expired("job-000099") {
+		t.Fatal("never-assigned ID reported expired")
+	}
+	if m.Expired("job-1") || m.Expired("nonsense") {
+		t.Fatal("malformed ID reported expired")
+	}
+}
+
+func TestManagerRetentionTTLPrunes(t *testing.T) {
+	m, err := NewManager(Config{MaxRunning: 1, RetainTTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Shutdown(context.Background())
+	injectFinished(t, m, 2)
+	// Age the first job past the TTL; the second stays fresh.
+	m.mu.Lock()
+	j := m.jobs["job-000001"]
+	m.mu.Unlock()
+	j.mu.Lock()
+	j.finished = time.Now().Add(-2 * time.Minute)
+	j.mu.Unlock()
+	if st := m.Stats(); st.Jobs[StateCanceled] != 1 {
+		t.Fatalf("job states after TTL prune = %v, want 1 canceled", st.Jobs)
+	}
+	if !m.Expired("job-000001") || m.Expired("job-000002") {
+		t.Fatal("TTL prune misreported expiry")
+	}
+}
+
+func TestExpiredJobGets404WithBody(t *testing.T) {
+	m, err := NewManager(Config{MaxRunning: 1, RetainCount: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Shutdown(context.Background())
+	injectFinished(t, m, 3)
+	h := NewHandler(m)
+	get := func(path string) (int, string) {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec.Code, rec.Body.String()
+	}
+	code, body := get("/v1/jobs/job-000001")
+	if code != 404 || !strings.Contains(body, "expired") {
+		t.Fatalf("pruned job: %d %q, want 404 naming expiry", code, body)
+	}
+	code, body = get("/v1/jobs/job-000001/events")
+	if code != 404 || !strings.Contains(body, "expired") {
+		t.Fatalf("pruned job events: %d %q, want 404 naming expiry", code, body)
+	}
+	code, body = get("/v1/jobs/job-000099")
+	if code != 404 || strings.Contains(body, "expired") {
+		t.Fatalf("unknown job: %d %q, want plain 404", code, body)
 	}
 }

@@ -157,19 +157,51 @@ func (r JobRequest) Options(extra ...Option) []Option {
 // requests with equal keys produce byte-identical reports. Parallelism and
 // route parallelism are excluded — every entry point guarantees identical
 // results at every parallelism level — so a server cache keyed on it shares
-// results across differently-budgeted submissions.
+// results across differently-budgeted submissions. The seed is normalized
+// the same way Options() resolves it (0 means the default master seed), so
+// an omitted seed and an explicitly-spelled default share one key.
 func (r JobRequest) CacheKey() string {
 	n := r
 	n.Benchmark = ""
 	n.Benchmarks = r.benchmarkList()
 	n.Parallelism = 0
 	n.RouteParallelism = 0
+	if n.Seed == 0 {
+		n.Seed = defaultSeed
+	}
 	b, err := json.Marshal(n)
 	if err != nil {
 		// A JobRequest is plain data; Marshal cannot fail on it.
 		panic(fmt.Sprintf("splitmfg: marshal job request: %v", err))
 	}
 	return string(n.Kind) + "|" + string(b)
+}
+
+// DecodeReport rebuilds the typed report a kind's Run returns from its
+// JSON serialization: *ProtectReport (protect), *SecurityReport (attack,
+// evaluate), *MatrixReport (matrix), or *SuiteReport (suite). It is the
+// decode half of a disk-backed result cache keyed on CacheKey — reports
+// round-trip through encoding/json byte-identically (every field is
+// tagged, floats use the shortest round-trippable form, maps encode with
+// sorted keys).
+func DecodeReport(kind JobKind, data []byte) (any, error) {
+	var v any
+	switch kind {
+	case JobProtect:
+		v = &ProtectReport{}
+	case JobAttack, JobEvaluate:
+		v = &SecurityReport{}
+	case JobMatrix:
+		v = &MatrixReport{}
+	case JobSuite:
+		v = &SuiteReport{}
+	default:
+		return nil, &OptionError{"kind", fmt.Sprintf("unknown job kind %q", kind)}
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return nil, err
+	}
+	return v, nil
 }
 
 // Run validates the request, loads its benchmarks, and dispatches to the

@@ -2,6 +2,7 @@ package splitmfg
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"strings"
 	"testing"
@@ -105,6 +106,51 @@ func TestJobRequestCacheKeyIgnoresParallelism(t *testing.T) {
 	e := JobRequest{Kind: JobSuite, Benchmarks: []string{"c432"}}
 	if d.CacheKey() != e.CacheKey() {
 		t.Fatalf("benchmark spellings not normalized:\n%s\n%s", d.CacheKey(), e.CacheKey())
+	}
+}
+
+func TestJobRequestCacheKeyNormalizesSeed(t *testing.T) {
+	// Options() treats Seed == 0 as "the default master seed", so an
+	// omitted seed and an explicitly-spelled default produce the same
+	// report — and must share one cache key.
+	omitted := JobRequest{Kind: JobAttack, Benchmark: "c432"}
+	spelled := JobRequest{Kind: JobAttack, Benchmark: "c432", Seed: 1}
+	if omitted.CacheKey() != spelled.CacheKey() {
+		t.Fatalf("default-seed spellings not normalized:\n%s\n%s", omitted.CacheKey(), spelled.CacheKey())
+	}
+	other := JobRequest{Kind: JobAttack, Benchmark: "c432", Seed: 2}
+	if other.CacheKey() == spelled.CacheKey() {
+		t.Fatal("distinct seeds share a cache key")
+	}
+}
+
+func TestDecodeReportRoundTrips(t *testing.T) {
+	req := JobRequest{Kind: JobEvaluate, Benchmark: "c432", PatternWords: 4,
+		SplitLayers: []int{3}, Attackers: []string{"random"}}
+	rep, err := req.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeReport(req.Kind, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := back.(*SecurityReport); !ok {
+		t.Fatalf("decoded %T, want *SecurityReport", back)
+	}
+	again, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(again) {
+		t.Fatalf("report did not round-trip byte-identically:\n%s\n----\n%s", data, again)
+	}
+	if _, err := DecodeReport("bogus", data); err == nil {
+		t.Fatal("unknown kind decoded")
 	}
 }
 

@@ -18,11 +18,18 @@ type pipelineConfig struct {
 	maxAttempts  int
 	parallelism  int
 	routePar     int
+	cacheDir     string
 	progress     ProgressFunc
 }
 
+// defaultSeed is the master seed used when none is set — the one option
+// whose library default is not its zero value. JobRequest.CacheKey
+// normalizes against it so an omitted seed and an explicit default seed
+// share one cache identity.
+const defaultSeed = 1
+
 func defaultPipelineConfig() pipelineConfig {
-	return pipelineConfig{seed: 1}
+	return pipelineConfig{seed: defaultSeed}
 }
 
 // WithLiftLayer sets the metal layer the randomized nets are lifted to
@@ -125,6 +132,19 @@ func WithParallelism(n int) Option {
 // from them — are byte-identical at every parallelism level.
 func WithRouteParallelism(n int) Option {
 	return func(c *pipelineConfig) { c.routePar = n }
+}
+
+// WithCacheDir backs Suite's result cache with a disk-based
+// content-addressed store rooted at dir (created if absent): every
+// completed baseline and (benchmark, defense, replicate) cell is
+// checkpointed with an atomic fsync'd write, so a killed suite run rerun
+// with the same directory recomputes only the unfinished cells and still
+// produces a byte-identical SuiteReport, and separate runs — or an
+// smserve sharing the directory — reuse each other's cells. Corrupt or
+// stale entries are quarantined and recomputed, never trusted. Empty
+// (the default) keeps the cache memory-only.
+func WithCacheDir(dir string) Option {
+	return func(c *pipelineConfig) { c.cacheDir = dir }
 }
 
 // WithProgress installs a progress hook receiving stage-completion events

@@ -261,6 +261,7 @@ func (p *Pipeline) suiteOptions(designs []*Design) flow.SuiteOptions {
 		TargetOER:        c.targetOER,
 		Fraction:         c.fraction,
 		RouteParallelism: c.routePar,
+		CacheDir:         c.cacheDir,
 		Progress:         c.progress,
 	}
 	for _, d := range designs {
