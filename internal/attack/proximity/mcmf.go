@@ -60,6 +60,8 @@ func (g *mcmf) reserve(edges int) {
 // addEdge inserts a directed edge u->v and its residual twin, returning the
 // forward edge index. Callers with capacities of unvalidated magnitude go
 // through addEdgeInt instead.
+//
+//smlint:hot
 func (g *mcmf) addEdge(u, v int, capacity int32, cost int64) int {
 	id := g.edges
 	g.to = append(g.to, v)
@@ -100,6 +102,8 @@ type mcmfItem = heapx.Item[int]
 // run thousands of iterations — stops promptly on cancellation instead of
 // running to completion; the flow pushed so far and ctx.Err() are
 // returned.
+//
+//smlint:hot
 func (g *mcmf) run(ctx context.Context, s, t int) (flow int32, cost int64, err error) {
 	const inf = int64(1) << 62
 	pot := make([]int64, g.n)

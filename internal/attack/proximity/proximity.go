@@ -320,6 +320,8 @@ func Attack(ctx context.Context, d *layout.Design, sv *layout.SplitView, opt Opt
 
 // appendFragDirs appends the dangling directions of a fragment's vpins to
 // dst, which callers reuse across fragments.
+//
+//smlint:hot
 func appendFragDirs(dst []layout.Direction, sv *layout.SplitView, fid int) []layout.Direction {
 	for _, vid := range sv.Frags[fid].VPins {
 		dst = append(dst, sv.VPins[vid].Dir)
@@ -329,6 +331,8 @@ func appendFragDirs(dst []layout.Direction, sv *layout.SplitView, fid int) []lay
 
 // countSinkPins counts the sink-side terminals in the fragment without
 // materializing the SinkPins slice.
+//
+//smlint:hot
 func countSinkPins(f *layout.Fragment) int {
 	n := 0
 	for _, p := range f.Pins {
@@ -341,6 +345,8 @@ func countSinkPins(f *layout.Fragment) int {
 
 // dirsCompatible reports whether any dangling direction at `from` points
 // roughly toward `to` (or no direction information exists).
+//
+//smlint:hot
 func dirsCompatible(dirs []layout.Direction, from, to geom.Point) bool {
 	if len(dirs) == 0 {
 		return true
@@ -365,6 +371,8 @@ func dirsCompatible(dirs []layout.Direction, from, to geom.Point) bool {
 
 // wouldLoop reports whether driving sinkGate from driverGate closes a
 // combinational cycle in the attacker's current netlist.
+//
+//smlint:hot
 func wouldLoop(known *netlist.Netlist, driverGate, sinkGate int) bool {
 	if driverGate == sinkGate {
 		return true
@@ -374,6 +382,8 @@ func wouldLoop(known *netlist.Netlist, driverGate, sinkGate int) bool {
 
 // commitKnown applies an assignment to the attacker's working netlist so
 // subsequent loop checks see it.
+//
+//smlint:hot
 func commitKnown(known *netlist.Netlist, sv *layout.SplitView, sinkFrag, driverGate int) {
 	net := known.Gates[driverGate].Out
 	for _, sp := range sv.Frags[sinkFrag].Pins {

@@ -86,7 +86,7 @@ func PlacementPerturbation(nl *netlist.Netlist, lib *cell.Library, opt Options) 
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(opt.Seed ^ 0xa5))
+	rng := rand.New(rand.NewSource(opt.Seed ^ 0xa5)) //smlint:rawseed engine-scoped seed already derived upstream by the flow layer; the XOR is a fixed domain separator and re-mixing would shift every golden byte pin
 	perturbPairs(pl, rng, int(float64(nl.NumGates())*opt.Fraction/2), 0)
 	return routeFlat(nl, masters, pl, opt.RouteOpt)
 }
@@ -168,7 +168,7 @@ func Sengupta(nl *netlist.Netlist, lib *cell.Library, strat SenguptaStrategy, op
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(opt.Seed ^ 0x5e9))
+	rng := rand.New(rand.NewSource(opt.Seed ^ 0x5e9)) //smlint:rawseed engine-scoped seed already derived upstream by the flow layer; the XOR is a fixed domain separator and re-mixing would shift every golden byte pin
 	order := make([]int, nl.NumGates())
 	for i := range order {
 		order[i] = i
@@ -300,7 +300,7 @@ func PinSwapping(nl *netlist.Netlist, lib *cell.Library, opt Options) (*layout.D
 	if err != nil {
 		return nil, nil, err
 	}
-	rng := rand.New(rand.NewSource(opt.Seed ^ 0x9175))
+	rng := rand.New(rand.NewSource(opt.Seed ^ 0x9175)) //smlint:rawseed engine-scoped seed already derived upstream by the flow layer; the XOR is a fixed domain separator and re-mixing would shift every golden byte pin
 	// Cross-block nets are the "block pins". Swap sink sets of random
 	// pairs of cross-block nets that originate in different blocks.
 	var crossNets []int
@@ -409,7 +409,7 @@ func RoutingPerturbation(nl *netlist.Netlist, lib *cell.Library, opt Options) (*
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(opt.Seed ^ 0x12))
+	rng := rand.New(rand.NewSource(opt.Seed ^ 0x12)) //smlint:rawseed engine-scoped seed already derived upstream by the flow layer; the XOR is a fixed domain separator and re-mixing would shift every golden byte pin
 	lifts := map[int]int{}
 	for _, n := range nl.Nets {
 		if n.FanoutCount() > 0 && rng.Float64() < opt.Fraction {
@@ -432,7 +432,7 @@ func Synergistic(nl *netlist.Netlist, lib *cell.Library, opt Options) (*layout.D
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(opt.Seed ^ 0x599))
+	rng := rand.New(rand.NewSource(opt.Seed ^ 0x599)) //smlint:rawseed engine-scoped seed already derived upstream by the flow layer; the XOR is a fixed domain separator and re-mixing would shift every golden byte pin
 	// Spread the endpoints of the selected nets a little (placement part).
 	perturbPairs(pl, rng, int(float64(nl.NumGates())*opt.Fraction/3), 4*cell.RowHeight)
 	lifts := map[int]int{}

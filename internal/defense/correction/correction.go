@@ -108,14 +108,14 @@ func BuildOriginal(nl *netlist.Netlist, lib *cell.Library, opt Options) (*layout
 	if err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	start := time.Now() //smlint:wallclock phase timer feeding opt.observe progress reporting; never reaches results
 	pl, err := place.Place(nl, masters, place.Options{UtilPercent: opt.UtilPercent, Seed: opt.Seed})
 	if err != nil {
 		return nil, err
 	}
 	opt.observe("place", start)
 	d := layout.NewDesign(nl, masters, pl, opt.RouteOpt)
-	start = time.Now()
+	start = time.Now() //smlint:wallclock phase timer feeding opt.observe progress reporting; never reaches results
 	if err := d.RouteAll(nil); err != nil {
 		return nil, err
 	}
@@ -148,7 +148,7 @@ func BuildProtected(original *netlist.Netlist, r *randomize.Result, lib *cell.Li
 	// wrong connectivity. The swapped drivers/sinks are do-not-touch in the
 	// paper's flow; our flow performs no logic restructuring, so the
 	// constraint is trivially honored.
-	start := time.Now()
+	start := time.Now() //smlint:wallclock phase timer feeding opt.observe progress reporting; never reaches results
 	pl, err := place.Place(erroneous, masters, place.Options{UtilPercent: opt.UtilPercent, Seed: opt.Seed})
 	if err != nil {
 		return nil, err
@@ -169,8 +169,8 @@ func BuildProtected(original *netlist.Netlist, r *randomize.Result, lib *cell.Li
 	// Embed one correction cell per protected sink, near the midpoint of
 	// its erroneous connection (the cell belongs to the erroneous net, so
 	// the FEOL stays self-consistent and misleading).
-	start = time.Now()
-	rng := rand.New(rand.NewSource(opt.Seed ^ 0x5eed))
+	start = time.Now()                                 //smlint:wallclock phase timer feeding opt.observe progress reporting; never reaches results
+	rng := rand.New(rand.NewSource(opt.Seed ^ 0x5eed)) //smlint:rawseed engine-scoped seed already derived upstream by the flow layer; the XOR is a fixed domain separator and re-mixing would shift every golden byte pin
 	for _, pin := range SortedPins(r.Protected) {
 		eNet := erroneous.Gates[pin.Gate].Fanin[pin.Pin]
 		dpt := driverPoint(d, eNet)
@@ -191,13 +191,13 @@ func BuildProtected(original *netlist.Netlist, r *randomize.Result, lib *cell.Li
 	opt.observe("lift", start)
 
 	// Partition each erroneous net's sinks into protected and plain.
-	start = time.Now()
+	start = time.Now() //smlint:wallclock phase timer feeding opt.observe progress reporting; never reaches results
 	if err := p.routeErroneous(); err != nil {
 		return nil, err
 	}
 	opt.observe("route", start)
 	// BEOL restoration between pairs of correction cells.
-	start = time.Now()
+	start = time.Now() //smlint:wallclock phase timer feeding opt.observe progress reporting; never reaches results
 	if err := p.restore(); err != nil {
 		return nil, err
 	}
@@ -422,7 +422,7 @@ func BuildNaiveLifted(original *netlist.Netlist, sinks []netlist.PinRef, lib *ce
 	if err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	start := time.Now() //smlint:wallclock phase timer feeding opt.observe progress reporting; never reaches results
 	pl, err := place.Place(original, masters, place.Options{UtilPercent: opt.UtilPercent, Seed: opt.Seed})
 	if err != nil {
 		return nil, err
@@ -437,8 +437,8 @@ func BuildNaiveLifted(original *netlist.Netlist, sinks []netlist.PinRef, lib *ce
 		CellOf:    map[netlist.PinRef]int{},
 		StubRoute: map[netlist.PinRef]int{},
 	}
-	start = time.Now()
-	rng := rand.New(rand.NewSource(opt.Seed ^ 0x11f7))
+	start = time.Now()                                 //smlint:wallclock phase timer feeding opt.observe progress reporting; never reaches results
+	rng := rand.New(rand.NewSource(opt.Seed ^ 0x11f7)) //smlint:rawseed engine-scoped seed already derived upstream by the flow layer; the XOR is a fixed domain separator and re-mixing would shift every golden byte pin
 	lifted := map[netlist.PinRef]bool{}
 	for _, pin := range sinks {
 		if lifted[pin] {
@@ -460,7 +460,7 @@ func BuildNaiveLifted(original *netlist.Netlist, sinks []netlist.PinRef, lib *ce
 		return nil, err
 	}
 	opt.observe("lift", start)
-	start = time.Now()
+	start = time.Now() //smlint:wallclock phase timer feeding opt.observe progress reporting; never reaches results
 	if err := p.routeErroneous(); err != nil {
 		return nil, err
 	}

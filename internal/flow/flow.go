@@ -478,6 +478,7 @@ func aggregateAttackers(attackers []string, results []LayerResult) []AttackerRes
 			ar.HD += ao.HD
 			ar.Fragments += ao.Fragments
 			ar.Correct += ao.Correct
+			//smlint:ordered each key accumulates independently; no cross-key interaction, so visit order cannot reach the per-key sums
 			for k, v := range ao.Metrics {
 				sums[k] += v
 			}
@@ -488,6 +489,7 @@ func aggregateAttackers(attackers []string, results []LayerResult) []AttackerRes
 			ar.HD /= float64(ar.Layers)
 			if len(sums) > 0 {
 				ar.Metrics = make(map[string]float64, len(sums))
+				//smlint:ordered independent per-key writes into a fresh map; renderers sort keys before printing
 				for k, v := range sums {
 					ar.Metrics[k] = v / float64(ar.Layers)
 				}
@@ -501,6 +503,8 @@ func aggregateAttackers(attackers []string, results []LayerResult) []AttackerRes
 // evaluateLayer attacks one split layer with every configured engine. It
 // is self-contained: each (layer, engine) pair derives its own RNG stream
 // and touches d and ref read-only, so layers can run concurrently.
+//
+//smlint:hot
 func evaluateLayer(ctx context.Context, d *layout.Design, ref *netlist.Netlist, layer int, opt EvalOptions) (LayerResult, error) {
 	start := time.Now()
 	lr := LayerResult{Layer: layer}

@@ -43,7 +43,7 @@ func ComputeDistStats(nm []int) DistStats {
 	}
 	var v float64
 	for _, d := range um {
-		v += (d - s.Mean) * (d - s.Mean)
+		v += float64((d - s.Mean) * (d - s.Mean)) // float64(): no FMA, see timing.LoadsFromDesign
 	}
 	s.Std = math.Sqrt(v / float64(s.N))
 	return s

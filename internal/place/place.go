@@ -127,7 +127,7 @@ func Place(nl *netlist.Netlist, masters []*cell.Master, opt Options) (*Placement
 	p := &Placement{Die: die, NumRows: numRows, Cells: make([]Cell, nl.NumGates())}
 	p.placePads(nl)
 
-	rng := rand.New(rand.NewSource(opt.Seed))
+	rng := rand.New(rand.NewSource(opt.Seed)) //smlint:rawseed callers pass a seed already mixed through the pipeline's splitmix64 streams (flow.layerSeed); re-mixing here would shift every golden byte pin
 	// Working coordinates: float cell centers. Cells seed along a Hilbert
 	// curve in netlist order: synthesis emits logically related gates
 	// together, so index order carries locality — exactly the structure a

@@ -86,10 +86,13 @@ func buildSuperblueBundle(name string, cfg Config) (*sbBundle, error) {
 }
 
 // protectedDistances returns, per protected sink pin, the distance between
-// its TRUE driver gate and the sink gate under the given placement.
+// its TRUE driver gate and the sink gate under the given placement. Pins
+// are visited in sorted order: the returned slice feeds the float mean in
+// metrics.ComputeDistStats, so map-iteration order would leak process
+// randomness into the summed distances.
 func protectedDistances(nl *netlist.Netlist, pl *place.Placement, pins map[netlist.PinRef]bool) []int {
 	var out []int
-	for pin := range pins {
+	for _, pin := range correction.SortedPins(pins) {
 		trueNet := nl.Gates[pin.Gate].Fanin[pin.Pin]
 		n := nl.Nets[trueNet]
 		var dp geom.Point
@@ -240,6 +243,7 @@ func Fig5(name string, cfg Config) (*Table, error) {
 	// The randomized net set in each variant: original routes the nets
 	// directly; lifted/proposed route trunk+stub(+restore) entities.
 	protNets := map[int]bool{}
+	//smlint:ordered idempotent set inserts into protNets; membership is order-independent
 	for pin := range b.Protected {
 		protNets[b.Netlist.Gates[pin.Gate].Fanin[pin.Pin]] = true
 		// true source net as well (proposed restores it through BEOL)
@@ -251,6 +255,7 @@ func Fig5(name string, cfg Config) (*Table, error) {
 	}{{"Original", b.Original}, {"Lifted", b.Lifted.Design}, {"Proposed", b.Proposed.Design}} {
 		byLayer := make([]int64, cell.NumLayers+1)
 		var total int64
+		//smlint:ordered integer wirelength tallies commute exactly; visit order cannot change byLayer/total
 		for id, rn := range v.d.Router.Nets() {
 			netID, ok := v.d.NetIDOf(id)
 			if !ok || !protNets[netID] {

@@ -119,7 +119,7 @@ func (r *Router) RouteJobs(jobs []Job) error {
 	}
 
 	for wi, wv := range waves {
-		start := time.Now()
+		start := time.Now() //smlint:wallclock wave wall-clock for the OnWave progress callback; never reaches routed results
 		if len(wv.jobs) == 1 {
 			ji := wv.jobs[0]
 			j := jobs[ji]
@@ -129,6 +129,7 @@ func (r *Router) RouteJobs(jobs []Job) error {
 			if pw > len(wv.jobs) {
 				pw = len(wv.jobs)
 			}
+			//smlint:bounded grows the reusable worker pool to pw <= Parallelism, one append per iteration
 			for len(workers) < pw {
 				workers = append(workers, newWorker(r))
 			}
@@ -138,6 +139,7 @@ func (r *Router) RouteJobs(jobs []Job) error {
 				wg.Add(1)
 				go func(w *worker) {
 					defer wg.Done()
+					//smlint:bounded work-stealing over a fixed job list: every iteration claims a fresh index and returns past len(wv.jobs)
 					for {
 						t := int(atomic.AddInt32(&next, 1)) - 1
 						if t >= len(wv.jobs) {

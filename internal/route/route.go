@@ -254,6 +254,8 @@ func (r *Router) Net(id int) *RoutedNet { return r.nets[id] }
 // re-route leaves the net's existing route fully intact, and a failed
 // fresh route records a Failed marker with no edges — partial trees never
 // occupy capacity or leak into ComputeStats/Validate.
+//
+//smlint:hot
 func (r *Router) RouteNet(id int, pins []Pin, minLayer int) error {
 	if len(pins) == 0 {
 		return fmt.Errorf("route: net %d has no pins", id)
@@ -440,6 +442,7 @@ func (r *Router) Validate() error {
 		start := r.Grid.NodeOf(rn.Pins[0].Pt, rn.Pins[0].Layer)
 		seen := map[Node]bool{start: true}
 		queue := []Node{start}
+		//smlint:bounded BFS with a seen set: each tree node enqueues at most once
 		for len(queue) > 0 {
 			n := queue[0]
 			queue = queue[1:]

@@ -72,6 +72,8 @@ func newWorker(r *Router) *worker {
 }
 
 // reset clears the usage overlay for the next net.
+//
+//smlint:hot
 func (w *worker) reset() {
 	for _, i := range w.touchedH {
 		w.deltaH[i] = 0
@@ -85,6 +87,8 @@ func (w *worker) reset() {
 
 // addDelta records one edge in the overlay (the in-flight equivalent of
 // Router.addUsage).
+//
+//smlint:hot
 func (w *worker) addDelta(e Edge, d int16) {
 	if e.IsVia() {
 		return
@@ -109,6 +113,8 @@ func (w *worker) addDelta(e Edge, d int16) {
 
 // segCost returns the cost of moving across one wire segment with the
 // current congestion (shared usage plus the worker's overlay).
+//
+//smlint:hot
 func (w *worker) segCost(lo Node, horizontal bool) int64 {
 	r := w.r
 	i := r.idx(lo)
@@ -144,6 +150,8 @@ func (w *worker) segCost(lo Node, horizontal bool) int64 {
 // On success the returned net carries the new edges and the caller
 // commits them; on failure it is marked Failed with no edges, and shared
 // state is untouched either way.
+//
+//smlint:hot
 func (w *worker) routeNet(id int, pins []Pin, minLayer int, old *RoutedNet, bound *region) (*RoutedNet, error) {
 	defer w.reset()
 	if old != nil {
@@ -207,6 +215,8 @@ func (w *worker) routeNet(id int, pins []Pin, minLayer int, old *RoutedNet, boun
 }
 
 // treeAdd inserts a node into the current net's tree (idempotent).
+//
+//smlint:hot
 func (w *worker) treeAdd(i int32) {
 	if w.treeEp[i] != w.treeEpoch {
 		w.treeEp[i] = w.treeEpoch
@@ -223,6 +233,8 @@ func (w *worker) inTree(i int32) bool { return w.treeEp[i] == w.treeEpoch }
 // tree and target expanded by MaxDetour gcells, retried once at 4x detour
 // — except in bounded mode, where any region not contained in bound
 // (including the retry) aborts with errEscaped.
+//
+//smlint:hot
 func (w *worker) search(target Node, wireMin int, bound *region) ([]Edge, error) {
 	for _, detour := range []int{w.r.Opt.MaxDetour, w.r.Opt.MaxDetour * 4} {
 		reg := w.searchRegion(target, detour)
@@ -282,6 +294,7 @@ func (w *worker) searchRegion(target Node, detour int) region {
 	}
 }
 
+//smlint:hot
 func (w *worker) searchBounded(target Node, wireMin int, reg region) ([]Edge, bool) {
 	g := w.r.Grid
 	loX, loY, hiX, hiY := reg.loX, reg.loY, reg.hiX, reg.hiY
@@ -322,6 +335,7 @@ func (w *worker) searchBounded(target Node, wireMin int, reg region) ([]Edge, bo
 			q = heapx.Push(q, pqItem{Pri: nd + h(ni), Value: ni})
 		}
 	}
+	//smlint:bounded A* frontier is confined to the clamped search region (searchRegion), so pushes are finite; cancellation is enforced between nets by the flow layer
 	for len(q) > 0 {
 		var it pqItem
 		q, it = heapx.Pop(q)

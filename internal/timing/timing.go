@@ -134,7 +134,7 @@ func Analyze(nl *netlist.Netlist, masters []*cell.Master, loads []NetLoad, die g
 		for _, s := range n.Sinks {
 			c += masters[s.Gate].InputCap
 		}
-		c += float64(len(n.POs)) * padCapFF
+		c += float64(float64(len(n.POs)) * padCapFF) // float64(): no FMA, see LoadsFromDesign
 		netCap[n.ID] = c
 	}
 	// Arrival times per net (ps). PIs and DFF outputs start at 0.

@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FloatSum flags float accumulation whose right-hand side could be
+// contracted into a fused multiply-add.
+//
+// Motivating bug (PR 3 class): `sum += a*b` compiles to an FMA on
+// arm64/ppc64 but two rounded operations on amd64, so golden reports
+// differed across architectures by one ulp — enough to break byte pins.
+// The Go spec permits fusion only when no explicit conversion intervenes
+// (see the repo idiom at timing.LoadsFromDesign), so the contract is:
+// when the RHS of a float `+=`/`-=` contains a multiplication or
+// division, it must be wrapped in an explicit float64(...)/float32(...)
+// conversion, which forces rounding before the accumulate and makes the
+// result identical on every architecture. Plain `sum += x` cannot fuse
+// and is always allowed.
+var FloatSum = &Analyzer{
+	Name: "floatsum",
+	Doc: "float accumulation without the anti-FMA float64() conversion\n\n" +
+		"`acc += expr` where expr multiplies or divides floats may compile to\n" +
+		"a fused multiply-add on some architectures and not others, breaking\n" +
+		"cross-arch byte-identical reports; write `acc += float64(expr)`.",
+	Packages: []string{"internal/flow", "internal/report", "internal/metrics", "internal/timing", "@root"},
+	Run:      runFloatSum,
+}
+
+func runFloatSum(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || (as.Tok != token.ADD_ASSIGN && as.Tok != token.SUB_ASSIGN) {
+				return true
+			}
+			tv, ok := pass.Info.Types[as.Lhs[0]]
+			if !ok || !IsFloat(tv.Type) {
+				return true
+			}
+			// A conversion (or any call) rounds its result, so fusion cannot
+			// cross it: `acc += float64(a*b)` is safe and containsFloatMul
+			// does not descend into it. Only a multiply reachable without
+			// crossing such a barrier can contract with the accumulate.
+			if containsFloatMul(pass, as.Rhs[0]) {
+				pass.Reportf(as.Pos(), "float accumulation of a product may contract to an architecture-dependent FMA: wrap the right-hand side in an explicit float64(...) (see timing.LoadsFromDesign)")
+			}
+			return true
+		})
+	}
+}
+
+// containsFloatMul reports whether the expression tree multiplies or
+// divides floats outside any explicit conversion (a conversion rounds
+// its operand, so fusion cannot cross it).
+func containsFloatMul(pass *Pass, e ast.Expr) bool {
+	found := false
+	var walk func(e ast.Expr)
+	walk = func(e ast.Expr) {
+		if found || e == nil {
+			return
+		}
+		switch e := ast.Unparen(e).(type) {
+		case *ast.BinaryExpr:
+			if e.Op == token.MUL || e.Op == token.QUO {
+				if tv, ok := pass.Info.Types[e]; ok && IsFloat(tv.Type) {
+					found = true
+					return
+				}
+			}
+			walk(e.X)
+			walk(e.Y)
+		case *ast.UnaryExpr:
+			walk(e.X)
+		case *ast.CallExpr:
+			// A conversion rounds its result, and a function call returns a
+			// rounded value: fusion cannot reach inside either. Arguments do
+			// not participate in the accumulate expression's contraction.
+		}
+	}
+	walk(e)
+	return found
+}

@@ -1,0 +1,220 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotAlloc flags per-call allocation patterns inside functions annotated
+// //smlint:hot.
+//
+// Motivating work (PR 7): the struct-of-arrays overhaul cut allocs/op
+// 2.6–21.6x on the netlist-build, RouteAll, and proximity-attack paths,
+// and pinned the results with testing.AllocsPerRun. Those pins catch a
+// regression only after it lands; hotalloc catches the three patterns
+// that caused every one of the original hot-path allocation storms at
+// the source: per-call map literals (and unsized map makes), zero-length
+// slice makes, and append growth into a locally fresh empty slice inside
+// a loop. A justified allocation carries //smlint:alloc <why>.
+//
+// The analyzer is opt-in per function: mark a function hot by putting
+// //smlint:hot on its own line in the doc comment. Hot markers belong on
+// the steady-state paths the AllocsPerRun pins measure — the RouteNet
+// worker chain, the proximity attack's inner loops, EvaluateSecurity's
+// per-layer path — not on setup code that runs once.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "per-call allocation in an //smlint:hot function\n\n" +
+		"Functions marked //smlint:hot must not build maps per call, make\n" +
+		"zero-length slices, or grow locally fresh slices by append inside a\n" +
+		"loop; reuse scratch buffers (epoch-stamped where membership matters)\n" +
+		"or annotate //smlint:alloc <why>.",
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !FuncMarked(fd, "hot") {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	fresh := freshEmptySlices(pass, fd.Body)
+	var walk func(n ast.Node, inLoop bool)
+	walk = func(n ast.Node, inLoop bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.ForStmt:
+				walkParts(pass, inLoop, walk, m.Init, m.Cond, m.Post)
+				walk(m.Body, true)
+				return false
+			case *ast.RangeStmt:
+				walk(m.Body, true)
+				return false
+			case *ast.CompositeLit:
+				if tv, ok := pass.Info.Types[m]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap && !pass.Escaped(m.Pos(), "alloc") {
+						pass.Reportf(m.Pos(), "map literal allocates on every call of a hot function: hoist it to a reused scratch field, or annotate //smlint:alloc <why>")
+					}
+				}
+			case *ast.CallExpr:
+				checkHotMake(pass, m)
+			case *ast.AssignStmt:
+				checkHotAppend(pass, m, fresh, inLoop)
+			}
+			return true
+		})
+	}
+	walk(fd.Body, false)
+}
+
+// walkParts re-walks the non-body clauses of a for statement with the
+// enclosing loop state (they execute outside the body's iteration).
+func walkParts(pass *Pass, inLoop bool, walk func(ast.Node, bool), parts ...ast.Node) {
+	for _, p := range parts {
+		if p != nil {
+			walk(p, inLoop)
+		}
+	}
+}
+
+// checkHotMake flags make(map[...]) with no size hint and make([]T, 0)
+// with no capacity.
+func checkHotMake(pass *Pass, call *ast.CallExpr) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return
+	}
+	if b, ok := pass.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
+		return
+	}
+	tv, ok := pass.Info.Types[call.Args[0]]
+	if !ok {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Map:
+		if len(call.Args) == 1 && !pass.Escaped(call.Pos(), "alloc") {
+			pass.Reportf(call.Pos(), "make(map) without a size hint in a hot function grows bucket by bucket: pre-size it, reuse a scratch map, or annotate //smlint:alloc <why>")
+		}
+	case *types.Slice:
+		if len(call.Args) == 2 && isConstZero(pass, call.Args[1]) && !pass.Escaped(call.Pos(), "alloc") {
+			pass.Reportf(call.Pos(), "make(slice, 0) without capacity in a hot function guarantees append growth: size it (or give it capacity), reuse scratch via s[:0], or annotate //smlint:alloc <why>")
+		}
+	}
+}
+
+// checkHotAppend flags `x = append(x, ...)` inside a loop when x is a
+// locally fresh empty slice — the classic doubling-growth pattern the
+// SoA work removed. Appends into reused scratch (struct fields,
+// parameters, `buf[:0]` rebinds) pass: their capacity survives calls.
+func checkHotAppend(pass *Pass, as *ast.AssignStmt, fresh map[types.Object]bool, inLoop bool) {
+	if !inLoop || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	target, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := pass.Info.Uses[target]
+	if obj == nil {
+		obj = pass.Info.Defs[target]
+	}
+	if obj == nil || !fresh[obj] {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" {
+		return
+	}
+	if pass.Escaped(as.Pos(), "alloc") {
+		return
+	}
+	pass.Reportf(as.Pos(), "append growth into a locally fresh slice inside a loop reallocates on a hot path: preallocate with the known capacity, reuse scratch, or annotate //smlint:alloc <why>")
+}
+
+// freshEmptySlices collects local slice variables declared with no
+// backing capacity: `var s []T`, `s := []T{}`, and `s := make([]T, 0)`
+// (no capacity argument).
+func freshEmptySlices(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	fresh := make(map[types.Object]bool)
+	mark := func(id *ast.Ident) {
+		if obj := pass.Info.Defs[id]; obj != nil {
+			if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+				fresh[obj] = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GenDecl:
+			for _, spec := range n.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 0 {
+					continue
+				}
+				for _, name := range vs.Names {
+					mark(name)
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok.String() != ":=" || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || !isEmptySliceExpr(pass, n.Rhs[i]) {
+					continue
+				}
+				mark(id)
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// isEmptySliceExpr reports `[]T{}` and `make([]T, 0)` without capacity.
+func isEmptySliceExpr(pass *Pass, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		tv, ok := pass.Info.Types[e]
+		if !ok {
+			return false
+		}
+		_, isSlice := tv.Type.Underlying().(*types.Slice)
+		return isSlice && len(e.Elts) == 0
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(e.Fun).(*ast.Ident)
+		if !ok || id.Name != "make" || len(e.Args) != 2 {
+			return false
+		}
+		if b, ok := pass.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
+			return false
+		}
+		tv, ok := pass.Info.Types[e.Args[0]]
+		if !ok {
+			return false
+		}
+		_, isSlice := tv.Type.Underlying().(*types.Slice)
+		return isSlice && isConstZero(pass, e.Args[1])
+	}
+	return false
+}
+
+func isConstZero(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return tv.Value.String() == "0"
+}

@@ -1,0 +1,254 @@
+// Package lint is the analysis framework behind smlint, the repo's
+// project-specific static checker. It enforces, at the source level, the
+// invariants every headline guarantee of this reproduction rests on:
+// byte-identical golden reports across serial/parallel runs and
+// architectures, prompt context cancellation in long solves, and
+// allocation-free hot paths at superblue scale.
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis —
+// Analyzer values with a Run(*Pass) hook reporting Diagnostics — but is
+// built directly on go/parser + go/types with a `go list -export`-driven
+// loader (see load.go), because this build environment has no module
+// proxy access. If x/tools ever becomes available, each Run function
+// ports to an analysis.Analyzer unchanged.
+//
+// # Annotations
+//
+// Sites that intentionally depart from an invariant carry an //smlint:
+// directive comment, on the flagged line or the line directly above it:
+//
+//	//smlint:ordered <why>   — map iteration order provably cannot reach output
+//	//smlint:rawseed <why>   — RNG seed intentionally not splitmix64-derived
+//	//smlint:wallclock <why> — a deliberate wall-clock timing-capture site
+//	//smlint:bounded <why>   — loop has a proven iteration bound
+//	//smlint:alloc <why>     — a justified allocation inside a hot function
+//
+// Escape directives REQUIRE a justification: a bare directive is itself a
+// diagnostic. Two further directives are markers, not escapes:
+//
+//	//smlint:hot — in a function's doc comment, opts the function into the
+//	hotalloc analyzer (per-call map literals, unsized make, append growth).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	Name string // short lower-case identifier, used in diagnostics
+	Doc  string // one-paragraph description of the invariant
+
+	// Packages restricts the analyzer to packages whose import path
+	// contains one of these fragments. The special fragment "@root"
+	// matches only the module's root package. Empty means every package.
+	Packages []string
+
+	Run func(*Pass)
+}
+
+// Applies reports whether the analyzer runs on the given package.
+func (a *Analyzer) Applies(pkg *Package) bool {
+	if len(a.Packages) == 0 {
+		return true
+	}
+	for _, frag := range a.Packages {
+		if frag == "@root" {
+			if pkg.Module != "" && pkg.Path == pkg.Module {
+				return true
+			}
+			continue
+		}
+		if strings.Contains(pkg.Path, frag) {
+			return true
+		}
+	}
+	return false
+}
+
+// A Diagnostic is one finding, positioned for a path:line:col report.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// A Package is one loaded, parsed, and type-checked package.
+type Package struct {
+	Path   string // import path
+	Module string // module path ("" outside modules); Path == Module for the root package
+	Fset   *token.FileSet
+	Files  []*ast.File
+	Types  *types.Package
+	Info   *types.Info
+
+	directives map[string][]directive // filename -> line-sorted directives
+}
+
+// A directive is one parsed //smlint:name comment.
+type directive struct {
+	line int
+	name string
+	arg  string // justification text after the name, may be empty
+}
+
+// buildDirectives scans every comment in the package once.
+func (p *Package) buildDirectives() {
+	p.directives = make(map[string][]directive)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // /* */ comments are not directives
+				}
+				text = strings.TrimPrefix(text, " ")
+				rest, ok := strings.CutPrefix(text, "smlint:")
+				if !ok {
+					continue
+				}
+				name, arg, _ := strings.Cut(rest, " ")
+				pos := p.Fset.Position(c.Pos())
+				p.directives[pos.Filename] = append(p.directives[pos.Filename], directive{
+					line: pos.Line,
+					name: name,
+					arg:  strings.TrimSpace(arg),
+				})
+			}
+		}
+	}
+	for _, ds := range p.directives {
+		sort.Slice(ds, func(i, j int) bool { return ds[i].line < ds[j].line })
+	}
+}
+
+// directiveAt returns the directive with the given name on the line of
+// pos or the line immediately above it.
+func (p *Package) directiveAt(pos token.Pos, name string) (directive, bool) {
+	at := p.Fset.Position(pos)
+	for _, d := range p.directives[at.Filename] {
+		if d.name == name && (d.line == at.Line || d.line == at.Line-1) {
+			return d, true
+		}
+	}
+	return directive{}, false
+}
+
+// A Pass carries one analyzer's run over one package.
+type Pass struct {
+	*Package
+	Analyzer *Analyzer
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Escaped reports whether the site at pos carries the named escape
+// directive (same line or the line above). A directive with no
+// justification text suppresses the original finding but is reported
+// itself — an escape must say why.
+func (p *Pass) Escaped(pos token.Pos, name string) bool {
+	d, ok := p.directiveAt(pos, name)
+	if !ok {
+		return false
+	}
+	if d.arg == "" {
+		p.Reportf(pos, "//smlint:%s needs a justification (\"//smlint:%s <why>\")", name, name)
+	}
+	return true
+}
+
+// FuncMarked reports whether fn's doc comment carries the named marker
+// directive (e.g. //smlint:hot).
+func FuncMarked(fn *ast.FuncDecl, name string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), " ")
+		rest, ok := strings.CutPrefix(text, "smlint:")
+		if !ok {
+			continue
+		}
+		n, _, _ := strings.Cut(rest, " ")
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyzers is the full smlint suite, in reporting order.
+var Analyzers = []*Analyzer{
+	MapIter,
+	RawRand,
+	CtxLoop,
+	HotAlloc,
+	FloatSum,
+}
+
+// Run applies every analyzer to every package it matches and returns the
+// diagnostics sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		if pkg.directives == nil {
+			pkg.buildDirectives()
+		}
+		for _, a := range analyzers {
+			if !a.Applies(pkg) {
+				continue
+			}
+			pass := &Pass{Package: pkg, Analyzer: a, diags: &diags}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// TypeIs reports whether t is the named type pkgPath.name (after
+// unaliasing, ignoring pointers is the caller's job).
+func TypeIs(t types.Type, pkgPath, name string) bool {
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// IsFloat reports whether t's core type is an untyped/typed float.
+func IsFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,131 @@
+package lint
+
+// The test harness mirrors golang.org/x/tools/go/analysis/analysistest:
+// each analyzer has a fixture tree under testdata/src/<analyzer>/ that is
+// copied into a temporary module, loaded through the production Load
+// path (go list -export + go/types), and analyzed. Expected findings are
+// `// want "regexp"` comments on the offending line; the run fails on
+// any unexpected diagnostic and any unmatched expectation, so fixtures
+// pin both the positives and the negatives (escape hatches, out-of-scope
+// packages, allowed idioms).
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want\s+"((?:[^"\\]|\\.)*)"`)
+
+// runFixture loads testdata/src/<name> as a fresh module and checks the
+// analyzer's diagnostics against the fixture's want comments.
+func runFixture(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	src := filepath.Join("testdata", "src", name)
+	mod := t.TempDir()
+
+	type expectation struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := make(map[string][]*expectation) // "relpath:line" -> expectations
+
+	err := filepath.Walk(src, func(path string, fi os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(src, path)
+		if fi.IsDir() {
+			return os.MkdirAll(filepath.Join(mod, rel), 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			re, err := regexp.Compile(m[1])
+			if err != nil {
+				return fmt.Errorf("%s:%d: bad want pattern: %v", rel, i+1, err)
+			}
+			key := fmt.Sprintf("%s:%d", rel, i+1)
+			wants[key] = append(wants[key], &expectation{re: re})
+		}
+		return os.WriteFile(filepath.Join(mod, rel), data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(mod, "go.mod"), []byte("module fixture\n\ngo 1.24\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	pkgs, err := Load(mod, "./...")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s loaded no packages", name)
+	}
+
+	for _, d := range Run(pkgs, []*Analyzer{a}) {
+		rel, err := filepath.Rel(mod, d.Pos.Filename)
+		if err != nil {
+			rel = d.Pos.Filename
+		}
+		key := fmt.Sprintf("%s:%d", rel, d.Pos.Line)
+		var exp *expectation
+		for _, e := range wants[key] {
+			if !e.matched && e.re.MatchString(d.Message) {
+				exp = e
+				break
+			}
+		}
+		if exp == nil {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+			continue
+		}
+		exp.matched = true
+	}
+	for key, es := range wants {
+		for _, e := range es {
+			if !e.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, e.re)
+			}
+		}
+	}
+}
+
+func TestMapIter(t *testing.T)  { runFixture(t, MapIter, "mapiter") }
+func TestRawRand(t *testing.T)  { runFixture(t, RawRand, "rawrand") }
+func TestCtxLoop(t *testing.T)  { runFixture(t, CtxLoop, "ctxloop") }
+func TestHotAlloc(t *testing.T) { runFixture(t, HotAlloc, "hotalloc") }
+func TestFloatSum(t *testing.T) { runFixture(t, FloatSum, "floatsum") }
+
+// TestSuiteCleanOnRepo is the self-check the CI lint job scripts around:
+// the full suite must exit clean on the repository's own tree. Running it
+// as a test too means `go test ./...` catches a violation even where the
+// lint job is not wired up.
+func TestSuiteCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := filepath.Abs(filepath.Join("..", "..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkgs, Analyzers)
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SeedDerivers are the functions recognized as producing a properly
+// mixed RNG seed (FNV label hashing + a splitmix64 finalizer). The seed
+// argument of rand.NewSource must be a direct call to one of these; raw
+// master seeds, XOR'd constants, and arithmetic on seeds correlate the
+// streams they feed (see DESIGN.md on seed hygiene).
+var SeedDerivers = map[string]bool{
+	"DeriveSeed":    true, // attack/engine and defense/engine mixers
+	"replicateSeed": true, // flow: per-replicate splitmix64 stream
+	"layerSeed":     true, // flow: per-split-layer splitmix64 stream
+	"splitmix64":    true,
+}
+
+// RawRand forbids unseedable or unmixed randomness and wall-clock reads
+// in the deterministic result packages (netlist/place/route/attack/
+// defense).
+//
+// Motivating bugs: global math/rand functions draw from a process-wide
+// stream that any package can perturb, so results stop being a function
+// of the seed; seeds built by XOR-ing small constants produce correlated
+// streams across replicates; and time.Now inside a result computation
+// leaks wall-clock into values that must be byte-identical across runs.
+// Deliberate timing-capture sites (progress callbacks, phase timers)
+// carry //smlint:wallclock <why>; intentionally raw seeds carry
+// //smlint:rawseed <why>.
+var RawRand = &Analyzer{
+	Name: "rawrand",
+	Doc: "global math/rand, underived seed, or time.Now in a deterministic result path\n\n" +
+		"Deterministic packages must draw randomness only from rand.New with a\n" +
+		"splitmix64-derived seed, and must not read the wall clock outside\n" +
+		"annotated timing-capture sites.",
+	Packages: []string{
+		"internal/netlist", "internal/place", "internal/route",
+		"internal/attack", "internal/defense",
+	},
+	Run: runRawRand,
+}
+
+func runRawRand(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pkgFuncOf(pass, call)
+			if fn == nil {
+				return true
+			}
+			switch {
+			case fn.Pkg().Path() == "time" && fn.Name() == "Now":
+				if pass.Escaped(call.Pos(), "wallclock") || pass.funcEscapedWallclock(call) {
+					return true
+				}
+				pass.Reportf(call.Pos(), "time.Now in a deterministic result path: results must be a function of the seed; annotate //smlint:wallclock <why> for a deliberate timing capture")
+			case fn.Pkg().Path() == "math/rand" || fn.Pkg().Path() == "math/rand/v2":
+				switch fn.Name() {
+				case "New":
+					// The seed is checked at the NewSource call inside.
+				case "NewSource":
+					if len(call.Args) == 1 && !isDerivedSeed(pass, call.Args[0]) && !pass.Escaped(call.Pos(), "rawseed") {
+						pass.Reportf(call.Pos(), "rand.NewSource seed is not derived through a splitmix64 helper (%s): raw or XOR'd master seeds correlate replicate streams; derive with DeriveSeed or annotate //smlint:rawseed <why>", seedDeriverNames())
+					}
+				default:
+					pass.Reportf(call.Pos(), "global math/rand.%s draws from the shared process-wide stream: results stop being a function of the pipeline seed; use rand.New(rand.NewSource(derivedSeed))", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// funcEscapedWallclock reports whether the innermost function declaration
+// containing the call is marked //smlint:wallclock — a whole function
+// dedicated to timing capture annotates once at the top.
+func (p *Pass) funcEscapedWallclock(call *ast.CallExpr) bool {
+	for _, f := range p.Files {
+		if f.Pos() <= call.Pos() && call.End() <= f.End() {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if ok && fd.Pos() <= call.Pos() && call.End() <= fd.End() {
+					return FuncMarked(fd, "wallclock")
+				}
+			}
+		}
+	}
+	return false
+}
+
+// pkgFuncOf resolves a call to a package-level function object, or nil
+// for methods, builtins, conversions, and locals.
+func pkgFuncOf(pass *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return nil
+	}
+	fn, ok := pass.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		return nil // method call (rng.Intn is fine — the stream is owned)
+	}
+	return fn
+}
+
+// isDerivedSeed reports whether the expression is a direct call to a
+// recognized seed-derivation helper (possibly through a conversion).
+func isDerivedSeed(pass *Pass, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok {
+		// Unwrap an explicit int64(...) style conversion.
+		if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+			return isDerivedSeed(pass, call.Args[0])
+		}
+		var name string
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		case *ast.Ident:
+			name = fun.Name
+		}
+		return SeedDerivers[name]
+	}
+	return false
+}
+
+func seedDeriverNames() string {
+	s := ""
+	for _, name := range []string{"DeriveSeed", "replicateSeed", "layerSeed", "splitmix64"} {
+		if s != "" {
+			s += ", "
+		}
+		s += name
+	}
+	return s
+}

@@ -1,0 +1,126 @@
+// Package route is a ctxloop fixture: solver-scope loops that cannot be
+// proven bounded must observe cancellation.
+package route
+
+import "context"
+
+type heap struct{ items []int }
+
+func (h *heap) Len() int   { return len(h.items) }
+func (h *heap) Pop() int   { n := h.items[len(h.items)-1]; h.items = h.items[:len(h.items)-1]; return n }
+func (h *heap) Push(v int) { h.items = append(h.items, v) }
+
+func uncheckedInfinite(ctx context.Context) {
+	for { // want "unbounded loop in solver code has no cancellation check"
+		if step() {
+			return
+		}
+	}
+}
+
+func checkedInfinite(ctx context.Context) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if step() {
+			return nil
+		}
+	}
+}
+
+func doneSelect(ctx context.Context, work chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case v := <-work:
+			sink(v)
+		}
+	}
+}
+
+func uncheckedFrontier(h *heap) {
+	for h.Len() > 0 { // want "unbounded loop in solver code has no cancellation check"
+		sink(h.Pop())
+	}
+}
+
+func uncheckedLenFrontier(q []int) {
+	for len(q) > 0 { // want "unbounded loop in solver code has no cancellation check"
+		q = q[1:]
+	}
+}
+
+func boundedAnnotated(h *heap) {
+	//smlint:bounded every iteration pops; no pushes occur in the body
+	for h.Len() > 0 {
+		sink(h.Pop())
+	}
+}
+
+func counterLoopsAreBounded(a []int) int {
+	n := 0
+	for i := 0; i < len(a); i++ { // three-clause counter: never flagged
+		n += a[i]
+	}
+	for _, v := range a { // range: never flagged
+		n += v
+	}
+	return n
+}
+
+func flagLoop(ctx context.Context) {
+	improved := true
+	for improved { // want "unbounded loop in solver code has no cancellation check"
+		improved = step()
+	}
+}
+
+// innerSatisfiedByOuter mirrors the MCMF fix shape: the augmenting loop
+// checks the context once per iteration, which bounds the staleness of
+// the inner (per-sweep-bounded) frontier loop.
+func innerSatisfiedByOuter(ctx context.Context, h *heap) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for h.Len() > 0 {
+			sink(h.Pop())
+		}
+		if step() {
+			return nil
+		}
+	}
+}
+
+// delegation: calling into code that takes the context counts as a
+// cancellation point — the callee owns the check.
+func delegated(ctx context.Context, h *heap) {
+	for h.Len() > 0 {
+		solveOne(ctx, h.Pop())
+	}
+}
+
+// closureStartsFresh: the enclosing loop's check does not run while the
+// closure's own loop spins, so the closure is checked on its own.
+func closureStartsFresh(ctx context.Context) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return
+		}
+		f := func() {
+			for { // want "unbounded loop in solver code has no cancellation check"
+				if step() {
+					return
+				}
+			}
+		}
+		f()
+		return
+	}
+}
+
+func step() bool                    { return true }
+func sink(int)                      {}
+func solveOne(context.Context, int) {}

@@ -1,0 +1,63 @@
+// Package metrics is a floatsum fixture: float accumulation of products
+// must round through an explicit conversion before the add, or the
+// compiler may contract the pair into an architecture-dependent FMA.
+package metrics
+
+func variance(xs []float64, mean float64) float64 {
+	var v float64
+	for _, x := range xs {
+		v += (x - mean) * (x - mean) // want "architecture-dependent FMA"
+	}
+	return v
+}
+
+func varianceRounded(xs []float64, mean float64) float64 {
+	var v float64
+	for _, x := range xs {
+		v += float64((x - mean) * (x - mean)) // conversion barrier: safe
+	}
+	return v
+}
+
+func plainSum(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x // no product: nothing to fuse
+	}
+	return sum
+}
+
+func subtractedProduct(sum float64, a, b float64) float64 {
+	sum -= a * b // want "architecture-dependent FMA"
+	return sum
+}
+
+func quotient(sum float64, a, b float64) float64 {
+	sum += a / b // want "architecture-dependent FMA"
+	return sum
+}
+
+func additionsOnly(sum float64, a, b float64) float64 {
+	sum += a + b // adds cannot contract with the accumulate
+	return sum
+}
+
+func intAccumulation(n int, a, b int) int {
+	n += a * b // integer math is exact: out of scope
+	return n
+}
+
+func callBarrier(sum float64, xs []float64) float64 {
+	sum += plainSum(xs) // a call returns a rounded value: safe
+	return sum
+}
+
+func scaledCount(c float64, pos int, pad float64) float64 {
+	c += float64(pos) * pad // want "architecture-dependent FMA"
+	return c
+}
+
+func scaledCountRounded(c float64, pos int, pad float64) float64 {
+	c += float64(float64(pos) * pad) // conversion barrier: safe
+	return c
+}

@@ -1,0 +1,101 @@
+// Package solver is a hotalloc fixture: the analyzer is opt-in per
+// function via //smlint:hot, so identical code in an unmarked function
+// must stay silent.
+package solver
+
+type scratch struct {
+	buf  []int
+	seen map[int]bool
+}
+
+// hotMapLiteral allocates a map on every call.
+//
+//smlint:hot
+func hotMapLiteral(keys []int) int {
+	seen := map[int]bool{} // want "map literal allocates on every call"
+	for _, k := range keys {
+		seen[k] = true
+	}
+	return len(seen)
+}
+
+// hotMakes covers the make shapes.
+//
+//smlint:hot
+func hotMakes(n int) ([]int, map[int]bool) {
+	m := make(map[int]bool) // want "make\(map\) without a size hint"
+	sized := make(map[int]bool, n)
+	grow := make([]int, 0) // want "make\(slice, 0\) without capacity"
+	capped := make([]int, 0, n)
+	fixed := make([]int, n)
+	_ = sized
+	_ = capped
+	_ = fixed
+	_ = grow
+	return nil, m
+}
+
+// hotAppendGrowth grows a locally fresh slice inside the loop — the
+// doubling-growth pattern the SoA work removed.
+//
+//smlint:hot
+func hotAppendGrowth(items []int) []int {
+	var out []int
+	for _, v := range items {
+		out = append(out, v) // want "append growth into a locally fresh slice"
+	}
+	return out
+}
+
+// hotScratchReuse appends into reused scratch: field targets and
+// capacity-preserving rebinds keep their backing arrays across calls.
+//
+//smlint:hot
+func (s *scratch) hotScratchReuse(items []int) []int {
+	s.buf = s.buf[:0]
+	for _, v := range items {
+		s.buf = append(s.buf, v) // reused field scratch: never flagged
+	}
+	reuse := s.buf[:0]
+	for _, v := range items {
+		reuse = append(reuse, v) // rebind of existing capacity: never flagged
+	}
+	return reuse
+}
+
+// hotAppendToParam grows the caller's slice — amortized by the caller's
+// capacity, not a locally fresh allocation.
+//
+//smlint:hot
+func hotAppendToParam(dst []int, items []int) []int {
+	for _, v := range items {
+		dst = append(dst, v)
+	}
+	return dst
+}
+
+// hotAnnotated keeps a justified allocation.
+//
+//smlint:hot
+func hotAnnotated(keys []int) map[int]bool {
+	seen := map[int]bool{} //smlint:alloc result escapes to the caller; no scratch can be reused
+	for _, k := range keys {
+		seen[k] = true
+	}
+	return seen
+}
+
+// coldFunction is NOT marked hot: none of these patterns are flagged.
+func coldFunction(keys []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, k := range keys {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	tmp := make([]int, 0)
+	_ = tmp
+	return out
+}

@@ -1,0 +1,56 @@
+// Package flow is a mapiter fixture: its import path matches the
+// report-producing package scope, so every map range must be sorted or
+// annotated.
+package flow
+
+import "sort"
+
+func sums(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want "range over map"
+		total += v
+	}
+	return total
+}
+
+func sortedSums(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	//smlint:ordered key collection feeds an explicit sort below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var total float64
+	for _, k := range keys { // slice range: never flagged
+		total += m[k]
+	}
+	return total
+}
+
+func annotated(m map[string]int) int {
+	n := 0
+	//smlint:ordered integer adds commute exactly
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func bareAnnotation(m map[string]int) int {
+	n := 0
+	//smlint:ordered
+	for _, v := range m { // want "needs a justification"
+		n += v
+	}
+	return n
+}
+
+type customMap map[int]bool
+
+func namedMapType(m customMap) int {
+	n := 0
+	for range m { // want "range over map"
+		n++
+	}
+	return n
+}

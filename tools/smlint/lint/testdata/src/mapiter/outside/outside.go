@@ -1,0 +1,11 @@
+// Package outside is not a report-producing package: map ranges here are
+// out of mapiter's scope and must produce no diagnostics.
+package outside
+
+func Sum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

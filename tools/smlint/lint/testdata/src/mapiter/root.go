@@ -1,0 +1,11 @@
+// Package fixture is the module root: the "@root" scope fragment must
+// match it, mirroring the real module's root aggregation package.
+package fixture
+
+func RootAggregate(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want "range over map"
+		total += v
+	}
+	return total
+}

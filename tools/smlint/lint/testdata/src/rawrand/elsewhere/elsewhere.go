@@ -1,0 +1,13 @@
+// Package elsewhere is outside the deterministic-result scope: raw seeds
+// and wall-clock reads here are not rawrand's business.
+package elsewhere
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Unscoped(seed int64) (int, time.Time) {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10), time.Now()
+}

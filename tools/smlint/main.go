@@ -1,0 +1,73 @@
+// Command smlint is the repo's project-specific static checker: five
+// analyzers that turn past bug classes — map-order nondeterminism in
+// report output, raw RNG seeding, cancellation-free solver loops,
+// hot-path allocation, and architecture-dependent FMA contraction in
+// float accumulation — into compile-time contracts.
+//
+// Usage:
+//
+//	go run ./tools/smlint ./...
+//
+// Exit status is 1 if any diagnostic is reported. See tools/smlint/lint
+// for the analyzers and the //smlint: annotation escapes, and DESIGN.md
+// "Statically enforced invariants" for the motivating bugs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"splitmfg/tools/smlint/lint"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: smlint [-only a,b] [packages]\n\nanalyzers:\n")
+		for _, a := range lint.Analyzers {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, firstLine(a.Doc))
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.Analyzers
+	if *only != "" {
+		byName := make(map[string]*lint.Analyzer)
+		for _, a := range lint.Analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "smlint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	pkgs, err := lint.Load(".", flag.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "smlint: %v\n", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "smlint: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
