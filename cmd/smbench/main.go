@@ -71,6 +71,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	suite := fs.Bool("suite", false, "run the multi-benchmark multi-seed suite on the subset instead of an experiment")
 	replicates := fs.Int("replicates", 3, "seed replicates per suite cell (-suite only)")
 	cacheDir := fs.String("cache-dir", "", "disk-backed result store: checkpoint every completed suite cell so a killed run resumes (-suite only)")
+	routeStrategy := fs.String("route-strategy", "", "routing strategy for -matrix / -suite: auto (default, picks by die area), flat, or hier")
 	listDefenses := fs.Bool("list-defenses", false, "list the registered defense schemes and exit")
 	verbose := fs.Bool("v", false, "stream per-stage progress to stderr")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -127,11 +128,16 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if *cacheDir != "" && !*suite {
 		return fmt.Errorf("-cache-dir only applies to -suite runs")
 	}
+	// The table/figure experiments pin the paper's setup (auto strategy
+	// included), so the knob only applies to the pipeline-backed modes.
+	if *routeStrategy != "" && !*matrix && !*suite {
+		return fmt.Errorf("-route-strategy only applies to -matrix / -suite runs")
+	}
 	if *matrix {
-		return runMatrix(ctx, stdout, *subset, *defenses, *attackers, *seed, *words, *scale, *verbose)
+		return runMatrix(ctx, stdout, *subset, *defenses, *attackers, *seed, *words, *scale, *routeStrategy, *verbose)
 	}
 	if *suite {
-		return runSuite(ctx, stdout, *subset, *defenses, *attackers, *seed, *words, *scale, *replicates, *cacheDir, *verbose)
+		return runSuite(ctx, stdout, *subset, *defenses, *attackers, *seed, *words, *scale, *replicates, *cacheDir, *routeStrategy, *verbose)
 	}
 
 	cfg := splitmfg.ExperimentConfig{
@@ -237,7 +243,7 @@ func subsetDesigns(subset string, defaults []string, scale int) ([]*splitmfg.Des
 // evaluation between and within benchmarks; each benchmark's table is
 // buffered and only written once its evaluation completed, so Ctrl-C
 // never leaves a partially rendered table.
-func runMatrix(ctx context.Context, stdout io.Writer, subset, defenses, attackers string, seed int64, words, scale int, verbose bool) error {
+func runMatrix(ctx context.Context, stdout io.Writer, subset, defenses, attackers string, seed int64, words, scale int, routeStrategy string, verbose bool) error {
 	schemes, err := splitmfg.ParseDefenses(defenses)
 	if err != nil {
 		return err
@@ -255,6 +261,7 @@ func runMatrix(ctx context.Context, stdout io.Writer, subset, defenses, attacker
 		splitmfg.WithPatternWords(words),
 		splitmfg.WithDefenses(schemes...),
 		splitmfg.WithAttackers(engines...),
+		splitmfg.WithRouteStrategy(routeStrategy),
 	}
 	if verbose {
 		opts = append(opts, splitmfg.WithProgress(splitmfg.ProgressLogger(os.Stderr)))
@@ -287,7 +294,7 @@ func runMatrix(ctx context.Context, stdout io.Writer, subset, defenses, attacker
 // buffered until the whole suite completed, so cancellation leaves none —
 // but with -cache-dir every completed cell is already checkpointed on
 // disk, so rerunning after a Ctrl-C recomputes only what was in flight.
-func runSuite(ctx context.Context, stdout io.Writer, subset, defenses, attackers string, seed int64, words, scale, replicates int, cacheDir string, verbose bool) error {
+func runSuite(ctx context.Context, stdout io.Writer, subset, defenses, attackers string, seed int64, words, scale, replicates int, cacheDir, routeStrategy string, verbose bool) error {
 	schemes, err := splitmfg.ParseDefenses(defenses)
 	if err != nil {
 		return err
@@ -306,6 +313,7 @@ func runSuite(ctx context.Context, stdout io.Writer, subset, defenses, attackers
 		splitmfg.WithDefenses(schemes...),
 		splitmfg.WithAttackers(engines...),
 		splitmfg.WithReplicates(replicates),
+		splitmfg.WithRouteStrategy(routeStrategy),
 	}
 	if cacheDir != "" {
 		opts = append(opts, splitmfg.WithCacheDir(cacheDir))

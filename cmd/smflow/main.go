@@ -58,6 +58,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	replicates := fs.Int("replicates", 1, "seed replicates for -matrix (>1 reports mean ± std via the suite scheduler)")
 	listDefenses := fs.Bool("list-defenses", false, "list the registered defense schemes and exit")
 	words := fs.Int("patterns", 0, "64-pattern words for OER/HD (default 256)")
+	routeStrategy := fs.String("route-strategy", "", "routing strategy: auto (default, picks by die area), flat, or hier")
 	attempts := fs.Int("attempts", 0, "escalation attempts (default 6; 1 = no escalation)")
 	out := fs.String("out", "", "write protected-layout DEF to this file")
 	vout := fs.String("verilog", "", "write the erroneous (FEOL) netlist as Verilog to this file")
@@ -98,6 +99,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		splitmfg.WithPatternWords(*words),
 		splitmfg.WithMaxAttempts(*attempts),
 		splitmfg.WithReplicates(*replicates),
+		splitmfg.WithRouteStrategy(*routeStrategy),
 	}
 	if *verbose {
 		opts = append(opts, splitmfg.WithProgress(splitmfg.ProgressLogger(os.Stderr)))

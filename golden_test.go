@@ -120,6 +120,41 @@ func TestGoldenReportsRouteSerialVsParallel(t *testing.T) {
 	}
 }
 
+// TestGoldenHierProtectReport pins the hierarchical routing strategy to
+// its own golden: c432 under an explicit "hier" strategy (auto routes a
+// die this small flat, so the flat goldens above are untouched by the
+// strategy's existence), serial and at route parallelism 4. The
+// determinism contract holds per strategy — coarse corridors are planned
+// serially before the wave partition, so the golden bytes must not
+// depend on the worker count.
+func TestGoldenHierProtectReport(t *testing.T) {
+	design, err := LoadBenchmark("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, tc := range []struct {
+		name string
+		par  int
+	}{
+		{"serial", 1},
+		{"parallel4", 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			pipe := goldenPipeline(
+				WithAttackers("proximity", "greedy", "random"),
+				WithRouteStrategy("hier"),
+				WithRouteParallelism(tc.par),
+			)
+			res, err := pipe.Protect(ctx, design)
+			if err != nil {
+				t.Fatal(err)
+			}
+			goldenCompare(t, "protect_c432_hier.json", marshalGolden(t, res.Report()))
+		})
+	}
+}
+
 func TestGoldenSuiteReport(t *testing.T) {
 	// Two benchmarks × two defenses × two attackers × two seed replicates:
 	// the whole suite path — scheduler, cache, replicate seed derivation,

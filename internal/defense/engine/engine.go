@@ -40,6 +40,7 @@ import (
 	"splitmfg/internal/layout"
 	"splitmfg/internal/netlist"
 	"splitmfg/internal/registry"
+	"splitmfg/internal/route"
 )
 
 // Options parameterizes one defense invocation.
@@ -74,6 +75,11 @@ type Options struct {
 	// inside the scheme's place-and-route (0 = GOMAXPROCS, 1 = serial).
 	// Routed layouts are byte-identical at every level.
 	RouteParallelism int
+
+	// RouteStrategy selects flat or hierarchical batched routing for the
+	// scheme's place-and-route (zero = auto, resolved per design by die
+	// area).
+	RouteStrategy route.Strategy
 }
 
 func (o Options) withDefaults() Options {

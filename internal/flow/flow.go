@@ -88,6 +88,13 @@ type Config struct {
 	// are byte-identical at every level.
 	RouteParallelism int
 
+	// RouteStrategy selects flat or hierarchical batched routing for every
+	// place-and-route in the flow (route.Strategy; zero = auto, which
+	// resolves per design by die area). Reports are byte-identical at
+	// every parallelism level for a fixed strategy, but flat and hier
+	// produce different (both valid) routings.
+	RouteStrategy route.Strategy
+
 	// Progress, when non-nil, receives stage-completion events.
 	Progress ProgressFunc
 }
@@ -184,7 +191,7 @@ func Protect(ctx context.Context, original *netlist.Netlist, lib *cell.Library, 
 	em := newEmitter(cfg.Progress)
 	copt := correction.Options{
 		LiftLayer: cfg.LiftLayer, UtilPercent: cfg.UtilPercent, Seed: cfg.Seed,
-		RouteOpt: route.Options{Parallelism: cfg.RouteParallelism,
+		RouteOpt: route.Options{Parallelism: cfg.RouteParallelism, Strategy: cfg.RouteStrategy,
 			OnWave: em.observeWaves(0, "baseline")},
 		Observe: em.observe(0, "baseline"),
 	}

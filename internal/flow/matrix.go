@@ -41,6 +41,10 @@ type MatrixOptions struct {
 	// the route workers of concurrent rows do not multiply; 1 = serial).
 	// Results are byte-identical at every level.
 	RouteParallelism int
+
+	// RouteStrategy selects flat or hierarchical batched routing for every
+	// build (zero = auto, resolved per design by die area).
+	RouteStrategy route.Strategy
 }
 
 func (o MatrixOptions) withDefaults() MatrixOptions {
@@ -138,7 +142,7 @@ func EvaluateMatrix(ctx context.Context, nl *netlist.Netlist, lib *cell.Library,
 	}
 	base, err := correction.BuildOriginal(nl, lib, correction.Options{
 		LiftLayer: opt.LiftLayer, UtilPercent: opt.UtilPercent, Seed: opt.Seed,
-		RouteOpt: route.Options{Parallelism: baseRouteP},
+		RouteOpt: route.Options{Parallelism: baseRouteP, Strategy: opt.RouteStrategy},
 	})
 	if err != nil {
 		return out, err
@@ -231,6 +235,7 @@ func evaluateDefense(ctx context.Context, nl *netlist.Netlist, lib *cell.Library
 		TargetOER:        opt.TargetOER,
 		Fraction:         opt.Fraction,
 		RouteParallelism: routeP,
+		RouteStrategy:    opt.RouteStrategy,
 	})
 	if err != nil {
 		return row, err

@@ -26,7 +26,12 @@ import (
 // baseline|/cell| strings below). Bump it whenever a result-affecting
 // algorithm changes without changing the key bytes, so stale entries
 // from older binaries are quarantined instead of trusted.
-const suiteKeySchema = 1
+//
+// Schema 2: keys gained the route strategy (|route=...), and the
+// hierarchical router changed large-die routings — entries written by
+// pre-strategy binaries (schema 1) carried no strategy and cannot be
+// trusted against either flat or hier requests.
+const suiteKeySchema = 2
 
 // Suite-level stages, emitted through the same ProgressFunc stream the
 // rest of the flow uses.
@@ -82,6 +87,12 @@ type SuiteOptions struct {
 	// Results are byte-identical at every level.
 	RouteParallelism int
 
+	// RouteStrategy selects flat or hierarchical batched routing for every
+	// build in the suite (zero = auto, resolved per design by die area).
+	// Unlike RouteParallelism it changes routed results, so it is part of
+	// every cache key.
+	RouteStrategy route.Strategy
+
 	// CacheDir, when non-empty, backs the suite cache with a disk-based
 	// content-addressed store (internal/store): every completed baseline
 	// and cell is checkpointed, so a killed run rerun with the same dir
@@ -110,6 +121,15 @@ func (o SuiteOptions) withDefaults() SuiteOptions {
 		o.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	return o
+}
+
+// routeStrategyKey normalizes the route strategy for cache keys: the zero
+// value and an explicit "auto" are the same request.
+func routeStrategyKey(s route.Strategy) string {
+	if s == "" {
+		return string(route.StrategyAuto)
+	}
+	return string(s)
 }
 
 // replicateSeed derives the master seed of one seed replicate (splitmix64
@@ -405,7 +425,7 @@ func EvaluateSuite(ctx context.Context, lib *cell.Library, opt SuiteOptions) (Su
 
 	runJob := func(j int) {
 		if j < B {
-			ppa, err := suiteBaseline(cctx, cache, opt.Benchmarks[j], lib, opt.Seed, routeP, em)
+			ppa, err := suiteBaseline(cctx, cache, opt.Benchmarks[j], lib, opt.Seed, routeP, opt.RouteStrategy, em)
 			if err != nil {
 				fail(err)
 				return
@@ -470,8 +490,8 @@ func EvaluateSuite(ctx context.Context, lib *cell.Library, opt SuiteOptions) (Su
 // returns its PPA — the anchor for every defense row's overheads, computed
 // once per benchmark across the whole suite.
 func suiteBaseline(ctx context.Context, cache *suiteCache, b SuiteBenchmark,
-	lib *cell.Library, seed int64, routeP int, em *emitter) (timing.PPA, error) {
-	key := "baseline|" + b.cacheKey(seed)
+	lib *cell.Library, seed int64, routeP int, strat route.Strategy, em *emitter) (timing.PPA, error) {
+	key := "baseline|" + b.cacheKey(seed) + "|route=" + routeStrategyKey(strat)
 	decode := func(raw []byte) (any, error) {
 		var ppa timing.PPA
 		err := json.Unmarshal(raw, &ppa)
@@ -484,7 +504,7 @@ func suiteBaseline(ctx context.Context, cache *suiteCache, b SuiteBenchmark,
 		}
 		base, err := correction.BuildOriginal(b.Netlist, lib, correction.Options{
 			LiftLayer: b.LiftLayer, UtilPercent: b.UtilPercent, Seed: seed,
-			RouteOpt: route.Options{Parallelism: routeP},
+			RouteOpt: route.Options{Parallelism: routeP, Strategy: strat},
 		})
 		if err != nil {
 			return timing.PPA{}, err
@@ -513,13 +533,13 @@ func suiteCell(ctx context.Context, cache *suiteCache, b SuiteBenchmark, lib *ce
 	if routeP == 0 {
 		routeP = inner
 	}
-	base, err := suiteBaseline(ctx, cache, b, lib, opt.Seed, routeP, em)
+	base, err := suiteBaseline(ctx, cache, b, lib, opt.Seed, routeP, opt.RouteStrategy, em)
 	if err != nil {
 		return MatrixRow{}, err
 	}
 	repSeed := replicateSeed(opt.Seed, rep)
-	key := fmt.Sprintf("cell|%s|defense=%s|fraction=%g|oer=%g|attackers=%s|layers=%v|words=%d|seed=%d",
-		b.cacheKey(opt.Seed), defense, opt.Fraction, opt.TargetOER,
+	key := fmt.Sprintf("cell|%s|route=%s|defense=%s|fraction=%g|oer=%g|attackers=%s|layers=%v|words=%d|seed=%d",
+		b.cacheKey(opt.Seed), routeStrategyKey(opt.RouteStrategy), defense, opt.Fraction, opt.TargetOER,
 		strings.Join(opt.Attackers, ","), opt.SplitLayers, opt.PatternWords, repSeed)
 	decode := func(raw []byte) (any, error) {
 		var row MatrixRow
@@ -537,6 +557,7 @@ func suiteCell(ctx context.Context, cache *suiteCache, b SuiteBenchmark, lib *ce
 			TargetOER:        opt.TargetOER,
 			Fraction:         opt.Fraction,
 			RouteParallelism: routeP,
+			RouteStrategy:    opt.RouteStrategy,
 		})
 		if err != nil {
 			return MatrixRow{}, err

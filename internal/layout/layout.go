@@ -233,11 +233,13 @@ func (d *Design) RouteEntities(jobs []EntityJob) error {
 	return nil
 }
 
-// RouteAll routes every netlist net flat (no synthetic cells); lifts maps
+// RouteAll routes every netlist net (no synthetic cells); lifts maps
 // net IDs to minimum layers (missing = unconstrained). Nets are routed in
 // increasing-HPWL order, short first, like a conventional global router;
 // spatially disjoint nets route concurrently (route.Options.Parallelism)
-// with byte-identical results.
+// with byte-identical results. route.Options.Strategy selects flat or
+// hierarchical corridor-confined search; HierStats reports what the
+// coarse pass did.
 func (d *Design) RouteAll(lifts map[int]int) error {
 	type job struct {
 		id   int
@@ -287,6 +289,11 @@ func (d *Design) RouteAll(lifts map[int]int) error {
 	d.Router.NegotiateReroute(3)
 	return nil
 }
+
+// HierStats reports the router's hierarchical tile-plan counters
+// (corridor-planned nets, flat fallbacks, batch escapes, corridor-confined
+// negotiation re-routes). All-zero under the flat strategy.
+func (d *Design) HierStats() route.HierStats { return d.Router.Hier() }
 
 // DefaultLift is the router's layer promotion for unconstrained nets.
 // Layer assignment here is purely congestion-driven (the per-layer cost

@@ -2,6 +2,7 @@ package route
 
 import (
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -65,8 +66,41 @@ const waveTileGCells = 8
 // rip up a route committed mid-batch, which the up-front partition cannot
 // see); replacing routes that existed before the batch parallelizes fine.
 //
+// Under the hierarchical strategy (Opt.Strategy, see strategy.go) a
+// serial coarse pass first plans a corridor per multi-pin net; declared
+// regions become corridor rectangles (plus any old route being replaced)
+// and every fine search is confined to its corridor. A net whose
+// corridor turns out unroutable falls back to the flat search in the
+// serial schedule; in a parallel wave that fallback cannot stay inside
+// the declared region, so the batch rolls back and re-runs serially —
+// the same protocol escapes use, with the same determinism argument.
+//
 // Opt.OnWave, when set, observes each committed multi-net wave.
 func (r *Router) RouteJobs(jobs []Job) error {
+	var corrs []corridor
+	if r.ResolvedStrategy() == StrategyHier && len(jobs) > 0 {
+		if r.planner == nil {
+			r.planner = newCoarsePlanner(r)
+		}
+		corrs = r.planner.plan(jobs)
+		if r.corridorHook != nil {
+			r.corridorHook(corrs)
+		}
+		// Remember each net's corridor (copied: the planner arena is
+		// reused by the next plan) so congestion negotiation between
+		// batches can stay corridor-confined — see NegotiateReroute.
+		if r.netCorrs == nil {
+			r.netCorrs = make(map[int]storedCorridor, len(jobs))
+		}
+		for i, j := range jobs {
+			if corrs[i].n > 0 {
+				r.netCorrs[j.ID] = storedCorridor{
+					tiles: append([]int32(nil), corrs[i].tiles...),
+					reg:   corrs[i].reg,
+				}
+			}
+		}
+	}
 	p := r.Opt.Parallelism
 	if p <= 0 {
 		p = runtime.GOMAXPROCS(0)
@@ -75,13 +109,13 @@ func (r *Router) RouteJobs(jobs []Job) error {
 		p = len(jobs)
 	}
 	if p <= 1 {
-		return r.routeJobsSerial(jobs)
+		return r.routeJobsSerial(jobs, corrs)
 	}
-	waves, ok := r.partition(jobs)
+	waves, ok := r.partition(jobs, corrs)
 	if !ok {
 		// Degenerate partition (every wave a single job): the batch is a
 		// serial chain, skip the worker machinery.
-		return r.routeJobsSerial(jobs)
+		return r.routeJobsSerial(jobs, corrs)
 	}
 
 	// Workers are allocated per batch, not cached on the Router: their
@@ -110,7 +144,7 @@ func (r *Router) RouteJobs(jobs []Job) error {
 				// that replaced it; restore them and their usage.
 				r.nets[c.id] = c.old
 				for _, e := range c.old.Edges {
-					r.addUsage(e, 1)
+					r.addUsage(e, 1, c.id)
 				}
 			} else {
 				delete(r.nets, c.id)
@@ -118,12 +152,22 @@ func (r *Router) RouteJobs(jobs []Job) error {
 		}
 	}
 
+	// routeOne routes one job on a worker with the job's corridor (if
+	// any) armed for the duration of the call.
+	routeOne := func(w *worker, ji int, bound *region) (*RoutedNet, error) {
+		j := jobs[ji]
+		if corrs != nil && corrs[ji].n > 0 {
+			w.setCorridor(r.planner.tw, r.planner.th, corrs[ji].tiles, corrs[ji].reg)
+			defer w.clearCorridor()
+		}
+		return w.routeNet(j.ID, j.Pins, j.MinLayer, r.nets[j.ID], bound)
+	}
+
 	for wi, wv := range waves {
 		start := time.Now() //smlint:wallclock wave wall-clock for the OnWave progress callback; never reaches routed results
 		if len(wv.jobs) == 1 {
 			ji := wv.jobs[0]
-			j := jobs[ji]
-			rns[ji], errs[ji] = r.serial.routeNet(j.ID, j.Pins, j.MinLayer, r.nets[j.ID], &wv.regions[0])
+			rns[ji], errs[ji] = routeOne(r.serial, ji, &wv.regions[0])
 		} else {
 			pw := p
 			if pw > len(wv.jobs) {
@@ -146,22 +190,26 @@ func (r *Router) RouteJobs(jobs []Job) error {
 							return
 						}
 						ji := wv.jobs[t]
-						j := jobs[ji]
-						rns[ji], errs[ji] = w.routeNet(j.ID, j.Pins, j.MinLayer, r.nets[j.ID], &wv.regions[t])
+						rns[ji], errs[ji] = routeOne(w, ji, &wv.regions[t])
 					}
 				}(workers[k])
 			}
 			wg.Wait()
 		}
-		// Any escape poisons every concurrent result: roll back and route
-		// the whole batch serially. (Escape is deterministic: until one
-		// occurs, every routed job saw exactly the serial schedule's state,
-		// so a batch escapes in parallel iff its serial schedule would
-		// trigger a detour retry or region drift.)
+		// Any escape — or corridor failure, whose flat retry cannot stay
+		// inside the declared region — poisons every concurrent result:
+		// roll back and route the whole batch serially. (Escape is
+		// deterministic: until one occurs, every routed job saw exactly
+		// the serial schedule's state, so a batch escapes in parallel iff
+		// its serial schedule would trigger a detour retry, region drift,
+		// or corridor fallback.)
 		for _, ji := range wv.jobs {
-			if errors.Is(errs[ji], errEscaped) {
+			if errors.Is(errs[ji], errEscaped) || errors.Is(errs[ji], errCorridor) {
 				rollback()
-				return r.routeJobsSerial(jobs)
+				if corrs != nil {
+					r.hierStats.BatchEscapes++
+				}
+				return r.routeJobsSerial(jobs, corrs)
 			}
 		}
 		// Commit in job order. Same-wave jobs cannot interact, so this
@@ -191,12 +239,58 @@ func (r *Router) RouteJobs(jobs []Job) error {
 	return nil
 }
 
-func (r *Router) routeJobsSerial(jobs []Job) error {
+// routeJobsSerial is the serial schedule every batch reduces to: plain
+// RouteNet per job in order under the flat strategy (corrs nil), and
+// corridor-first routing with a per-net flat fallback under hier. The
+// parallel path's escape fallback re-enters here with the same corridors
+// the waves used, so both paths make identical routing decisions.
+func (r *Router) routeJobsSerial(jobs []Job, corrs []corridor) error {
 	for i, j := range jobs {
-		if err := r.RouteNet(j.ID, j.Pins, j.MinLayer); err != nil {
+		var err error
+		if corrs != nil && corrs[i].n > 0 {
+			err = r.routeNetHier(j, &corrs[i])
+		} else {
+			err = r.RouteNet(j.ID, j.Pins, j.MinLayer)
+		}
+		if err != nil {
 			return &JobError{Index: i, ID: j.ID, Err: err}
 		}
 	}
+	return nil
+}
+
+// routeNetHier routes one multi-pin job corridor-first on the serial
+// worker. A corridor failure is not fatal: the net retries with the flat
+// search (full detour loop) exactly as if the strategy were flat, and
+// the retry is counted in HierStats.FlatFallbacks.
+func (r *Router) routeNetHier(j Job, c *corridor) error {
+	return r.routeNetCorridor(j.ID, j.Pins, j.MinLayer, c.tiles, c.reg)
+}
+
+// routeNetCorridor is the serial corridor-confined route shared by hier
+// batch refinement and hier congestion negotiation: compute within the
+// corridor, retry flat on corridor exhaustion, commit only on success —
+// the same contract as RouteNet.
+func (r *Router) routeNetCorridor(id int, pins []Pin, minLayer int, tiles []int32, reg region) error {
+	if minLayer > r.Grid.Layers {
+		return fmt.Errorf("route: net %d lift layer M%d above top layer M%d", id, minLayer, r.Grid.Layers)
+	}
+	old := r.nets[id]
+	w := r.serial
+	w.setCorridor(r.planner.tw, r.planner.th, tiles, reg)
+	rn, err := w.routeNet(id, pins, minLayer, old, nil)
+	w.clearCorridor()
+	if err != nil {
+		if errors.Is(err, errCorridor) {
+			r.hierStats.FlatFallbacks++
+			return r.RouteNet(id, pins, minLayer)
+		}
+		if old == nil {
+			r.nets[id] = rn // failed marker: no edges, no usage
+		}
+		return err
+	}
+	r.commit(rn, old)
 	return nil
 }
 
@@ -213,8 +307,10 @@ type wave struct {
 // Levels come from per-tile chains: each job depends on the last previous
 // job sharing any of its tiles — a superset of true region overlaps
 // (overlapping regions share at least one tile), computed in linear time.
+// corrs, non-nil under the hierarchical strategy, substitutes corridor
+// rectangles for detour-expanded bounding boxes.
 // ok is false when the partition is fully serial (no wave holds two jobs).
-func (r *Router) partition(jobs []Job) ([]wave, bool) {
+func (r *Router) partition(jobs []Job, corrs []corridor) ([]wave, bool) {
 	// Duplicate IDs inside one batch invalidate the up-front regions: the
 	// later job would rip up whatever route the earlier one commits
 	// mid-batch, which the pre-batch state cannot predict. No pipeline
@@ -231,7 +327,13 @@ func (r *Router) partition(jobs []Job) ([]wave, bool) {
 	numLevels := 0
 	last := map[[2]int]int{} // tile -> last job index covering it
 	for i, j := range jobs {
-		reg, interacts := r.declaredRegion(j)
+		var reg region
+		var interacts bool
+		if corrs != nil && corrs[i].n > 0 {
+			reg, interacts = r.declaredRegionHier(j, &corrs[i])
+		} else {
+			reg, interacts = r.declaredRegion(j)
+		}
 		regions[i] = reg
 		lvl := 0
 		if interacts {
@@ -312,6 +414,38 @@ func (r *Router) declaredRegion(j Job) (region, bool) {
 		reg.loY = geom.Clamp(reg.loY-m, 0, g.H-1)
 		reg.hiX = geom.Clamp(reg.hiX+m, 0, g.W-1)
 		reg.hiY = geom.Clamp(reg.hiY+m, 0, g.H-1)
+	}
+	return reg, true
+}
+
+// declaredRegionHier is the hierarchical strategy's declared region: the
+// corridor's rectangle (which already contains every pin —
+// corridor-confined searches cannot read or write outside it) unioned
+// with any existing route being replaced,
+// whose rip-up decrements usage across the old edges. No detour
+// expansion: corridor mode runs a single attempt and a failure escapes
+// to the serial schedule instead of retrying wider.
+func (r *Router) declaredRegionHier(j Job, c *corridor) (region, bool) {
+	reg := c.reg
+	if old := r.nets[j.ID]; old != nil && len(old.Edges) > 0 {
+		grow := func(x, y int) {
+			if x < reg.loX {
+				reg.loX = x
+			}
+			if y < reg.loY {
+				reg.loY = y
+			}
+			if x > reg.hiX {
+				reg.hiX = x
+			}
+			if y > reg.hiY {
+				reg.hiY = y
+			}
+		}
+		for _, e := range old.Edges {
+			grow(e.A.X, e.A.Y)
+			grow(e.B.X, e.B.Y)
+		}
 	}
 	return reg, true
 }

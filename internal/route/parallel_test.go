@@ -91,13 +91,13 @@ func TestRouteJobsSerialParallelIdentical(t *testing.T) {
 	g := bigGrid()
 	jobs := scatteredJobs(400, g, 7)
 
-	serial := NewRouter(g, Options{Parallelism: 1})
+	serial := NewRouter(g, Options{Parallelism: 1, Strategy: StrategyFlat})
 	if err := serial.RouteJobs(jobs); err != nil {
 		t.Fatal(err)
 	}
 
 	maxWave := 0
-	par := NewRouter(g, Options{Parallelism: 8, OnWave: func(wave, waves, nets int, _ time.Duration) {
+	par := NewRouter(g, Options{Parallelism: 8, Strategy: StrategyFlat, OnWave: func(wave, waves, nets int, _ time.Duration) {
 		if nets > maxWave {
 			maxWave = nets
 		}
@@ -123,7 +123,7 @@ func TestRouteJobsRerouteInBatch(t *testing.T) {
 	jobs := scatteredJobs(60, g, 22) // same IDs 0..59, different pins
 
 	build := func(parallelism int) *Router {
-		r := NewRouter(g, Options{Parallelism: parallelism})
+		r := NewRouter(g, Options{Parallelism: parallelism, Strategy: StrategyFlat})
 		for _, j := range pre {
 			if err := r.RouteNet(j.ID, j.Pins, j.MinLayer); err != nil {
 				t.Fatal(err)
@@ -152,13 +152,13 @@ func TestRouteJobsUnroutableFallsBackSerial(t *testing.T) {
 	}, MinLayer: 10}
 	jobs = append(jobs[:25:25], append([]Job{bad}, jobs[25:]...)...)
 
-	serial := NewRouter(g, Options{Parallelism: 1})
+	serial := NewRouter(g, Options{Parallelism: 1, Strategy: StrategyFlat})
 	serialErr := serial.RouteJobs(jobs)
 	if serialErr == nil {
 		t.Fatal("serial batch with an unroutable net did not fail")
 	}
 
-	par := NewRouter(g, Options{Parallelism: 8})
+	par := NewRouter(g, Options{Parallelism: 8, Strategy: StrategyFlat})
 	parErr := par.RouteJobs(jobs)
 	if parErr == nil {
 		t.Fatal("parallel batch with an unroutable net did not fail")
@@ -299,7 +299,7 @@ func TestNegotiateConservesRoutes(t *testing.T) {
 	recount := NewRouter(r.Grid, r.Opt)
 	for _, rn := range r.nets {
 		for _, e := range rn.Edges {
-			recount.addUsage(e, 1)
+			recount.addUsage(e, 1, rn.ID)
 		}
 	}
 	for i := range r.usageH {
@@ -381,7 +381,7 @@ func TestRouteJobsSinglePinRipUpSerializes(t *testing.T) {
 		}
 	}
 	build := func(parallelism int) *Router {
-		r := NewRouter(g, Options{Capacity: 1, Parallelism: parallelism})
+		r := NewRouter(g, Options{Capacity: 1, Parallelism: parallelism, Strategy: StrategyFlat})
 		for id := 0; id < 3; id++ {
 			if err := r.RouteNet(id, corridor(id), 1); err != nil {
 				t.Fatal(err)
@@ -413,11 +413,11 @@ func TestRouteJobsDuplicateIDsSerialize(t *testing.T) {
 	dup.Pins = scatteredJobs(1, g, 32)[0].Pins
 	jobs = append(jobs, dup) // same ID as jobs[5], different pins
 
-	serial := NewRouter(g, Options{Parallelism: 1})
+	serial := NewRouter(g, Options{Parallelism: 1, Strategy: StrategyFlat})
 	if err := serial.RouteJobs(jobs); err != nil {
 		t.Fatal(err)
 	}
-	par := NewRouter(g, Options{Parallelism: 8})
+	par := NewRouter(g, Options{Parallelism: 8, Strategy: StrategyFlat})
 	if err := par.RouteJobs(jobs); err != nil {
 		t.Fatal(err)
 	}

@@ -104,6 +104,12 @@ type Options struct {
 	HistoryCost float64 // congestion penalty weight; 0 = default (2.0)
 	MaxDetour   int     // extra gcells allowed around the bbox; 0 = default (12)
 
+	// Strategy selects flat or hierarchical batched routing (see
+	// strategy.go); the zero value is StrategyAuto, which resolves by die
+	// area. Incremental RouteNet calls (the ECO path) always route flat —
+	// they re-route single nets whose neighborhoods already exist.
+	Strategy Strategy
+
 	// Parallelism is the worker count for batched routing (RouteJobs):
 	// 0 uses GOMAXPROCS, 1 forces serial execution. Results are
 	// byte-identical at every level. Incremental RouteNet calls are always
@@ -128,6 +134,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxDetour == 0 {
 		o.MaxDetour = 12
+	}
+	if o.Strategy == "" {
+		o.Strategy = StrategyAuto
 	}
 	return o
 }
@@ -173,6 +182,31 @@ type Router struct {
 	// serial is the scratch worker incremental RouteNet calls route on;
 	// batched routing spins up additional workers (see batch.go).
 	serial *worker
+
+	// planner is the hierarchical strategy's coarse pass, created lazily
+	// by the first hier RouteJobs call (see coarse.go); hierStats
+	// accumulates what it did. corridorHook, when non-nil, observes (and
+	// may perturb) each batch's planned corridors before routing — a
+	// deterministic fault-injection point for tests: with soft capacities
+	// the tile grid has no organic way to produce an unroutable corridor,
+	// but the fallback must still be exercised.
+	planner      *coarsePlanner
+	hierStats    HierStats
+	corridorHook func([]corridor)
+
+	// netCorrs remembers each net's last planned corridor (tiles copied
+	// out of the planner's per-batch arena, which the next plan reuses),
+	// so congestion negotiation stays corridor-confined under the
+	// hierarchical strategy instead of re-opening die-sized flat searches.
+	// A successful flat re-route (RouteNet — the ECO path) or a rip-up
+	// invalidates the entry.
+	netCorrs map[int]storedCorridor
+}
+
+// storedCorridor is the persistent per-net copy of a planned corridor.
+type storedCorridor struct {
+	tiles []int32
+	reg   region
 }
 
 // NewRouter creates a router over the grid. When Options.Capacity is zero
@@ -272,6 +306,10 @@ func (r *Router) RouteNet(id int, pins []Pin, minLayer int) error {
 		return err
 	}
 	r.commit(rn, old)
+	// A flat route supersedes any remembered corridor: the pins may have
+	// changed (ECO), and negotiation must not squeeze the new topology
+	// back into the old net's corridor.
+	delete(r.netCorrs, id)
 	return nil
 }
 
@@ -283,7 +321,7 @@ func (r *Router) commit(rn *RoutedNet, old *RoutedNet) {
 	}
 	r.nets[rn.ID] = rn
 	for _, e := range rn.Edges {
-		r.addUsage(e, 1)
+		r.addUsage(e, 1, rn.ID)
 	}
 }
 
@@ -292,17 +330,26 @@ func (r *Router) RipUp(id int) {
 	if rn := r.nets[id]; rn != nil {
 		r.ripUp(rn)
 		delete(r.nets, id)
+		delete(r.netCorrs, id)
 	}
 }
 
 func (r *Router) ripUp(rn *RoutedNet) {
 	for _, e := range rn.Edges {
-		r.addUsage(e, -1)
+		r.addUsage(e, -1, rn.ID)
 	}
 	rn.Edges = nil
 }
 
-func (r *Router) addUsage(e Edge, d int16) {
+// addUsage adjusts the usage grid for one edge, panicking with the full
+// edge identity before an increment could wrap the int16 cell: usage
+// beyond int16 range means thousands of nets stacked on one gcell edge —
+// a corrupted accounting state, not a legitimate design — and wrapping
+// silently would break rip-up bookkeeping and congestion negotiation in
+// undebuggable ways. The panic names the layer, gcell, direction, and
+// the net being committed or ripped up, so a full-scale failure is
+// diagnosable without a debugger.
+func (r *Router) addUsage(e Edge, d int16, netID int) {
 	if e.IsVia() {
 		return
 	}
@@ -310,23 +357,19 @@ func (r *Router) addUsage(e Edge, d int16) {
 	if e.B.X < lo.X || e.B.Y < lo.Y {
 		lo = e.B
 	}
+	i := r.idx(lo)
+	u := r.usageV
+	dir := "vertical"
 	if e.A.Y == e.B.Y && e.A.X != e.B.X {
-		r.usageH[r.idx(lo)] = satAdd16(r.usageH[r.idx(lo)], d)
-	} else {
-		r.usageV[r.idx(lo)] = satAdd16(r.usageV[r.idx(lo)], d)
+		u = r.usageH
+		dir = "horizontal"
 	}
-}
-
-// satAdd16 adds with an overflow panic: usage beyond int16 range means
-// thousands of nets stacked on one gcell edge — a corrupted accounting
-// state, not a legitimate design — and wrapping silently would break
-// rip-up bookkeeping and congestion negotiation in undebuggable ways.
-func satAdd16(u, d int16) int16 {
-	s := int32(u) + int32(d)
+	s := int32(u[i]) + int32(d)
 	if s > math.MaxInt16 || s < math.MinInt16 {
-		panic(fmt.Sprintf("route: edge usage %d overflows int16", s))
+		panic(fmt.Sprintf("route: net %d: %s edge usage %d at M%d gcell (%d,%d) overflows int16",
+			netID, dir, s, lo.Z, lo.X, lo.Y))
 	}
-	return int16(s)
+	u[i] = int16(s)
 }
 
 const viaBase = 10 // via cost = viaBase * Opt.ViaCost / 4
@@ -479,9 +522,19 @@ func adjacent(a, b Node) bool {
 // on return, so later RouteNet calls on the same router see the
 // configured weight, not a compounded one. A net whose re-route fails
 // keeps its previous (congested but valid) route.
+//
+// Under the hierarchical strategy, nets that still have a remembered
+// corridor from the coarse pass re-route corridor-confined (falling back
+// to the flat search if the corridor is exhausted, like batched
+// refinement) — negotiation is where flat routing spends most of its
+// time on large dies, and it would otherwise reopen exactly the
+// die-sized searches the corridors were built to avoid. The loop is
+// serial and the corridors are a pure function of the batch history, so
+// the determinism contract is untouched.
 func (r *Router) NegotiateReroute(iters int) {
 	orig := r.Opt.HistoryCost
 	defer func() { r.Opt.HistoryCost = orig }()
+	hier := r.ResolvedStrategy() == StrategyHier && r.planner != nil
 	for it := 0; it < iters; it++ {
 		over := map[int]bool{}
 		for id, rn := range r.nets {
@@ -516,8 +569,15 @@ func (r *Router) NegotiateReroute(iters int) {
 		r.Opt.HistoryCost *= 1.8
 		for _, id := range ids {
 			rn := r.nets[id]
-			if err := r.RouteNet(id, rn.Pins, rn.MinLayer); err != nil {
-				// RouteNet left the old route fully intact; keep it — a
+			var err error
+			if c, ok := r.netCorrs[id]; hier && ok {
+				r.hierStats.NegoCorridor++
+				err = r.routeNetCorridor(id, rn.Pins, rn.MinLayer, c.tiles, c.reg)
+			} else {
+				err = r.RouteNet(id, rn.Pins, rn.MinLayer)
+			}
+			if err != nil {
+				// The re-route left the old route fully intact; keep it — a
 				// congested route beats a destroyed one.
 				continue
 			}

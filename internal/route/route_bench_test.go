@@ -97,7 +97,7 @@ func BenchmarkRouteWaves(b *testing.B) {
 		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				r := NewRouter(grid, Options{Parallelism: p})
+				r := NewRouter(grid, Options{Parallelism: p, Strategy: StrategyFlat})
 				if err := r.RouteJobs(jobs); err != nil {
 					b.Fatal(err)
 				}

@@ -17,6 +17,14 @@ import (
 // (either the retry succeeds or the net genuinely fails).
 var errEscaped = errors.New("route: search escaped its wave region")
 
+// errCorridor marks a hierarchical refinement whose corridor-confined
+// search found no path. In the serial schedule the net retries with the
+// flat search (full detour loop); in a parallel wave the flat retry would
+// leave the declared region, so — exactly like errEscaped — the batch
+// rolls back and re-runs serially, where the same corridor failure
+// resolves into the same flat retry.
+var errCorridor = errors.New("route: corridor exhausted")
+
 // worker holds everything one routing computation needs besides the
 // shared usage arrays: the A* scratch (reused across searches so
 // steady-state routing does not allocate) and a usage-delta overlay that
@@ -56,6 +64,18 @@ type worker struct {
 	deltaV   []int16
 	touchedH []int32
 	touchedV []int32
+
+	// Corridor mask for hierarchical refinement (strategy.go/coarse.go):
+	// while corrOn, wire moves may only enter gcells whose tile is
+	// stamped with the current corridor epoch, and search runs a single
+	// attempt over corrReg instead of the detour loop. Vias never change
+	// x/y, so they need no check. corrEp is sized to the planner's tile
+	// grid on first use.
+	corrOn    bool
+	corrReg   region
+	corrEp    []int32
+	corrEpoch int32
+	corrTW    int
 }
 
 func newWorker(r *Router) *worker {
@@ -199,7 +219,7 @@ func (w *worker) routeNet(id int, pins []Pin, minLayer int, old *RoutedNet, boun
 		if err != nil {
 			rn.Failed = true
 			rn.Edges = nil
-			if errors.Is(err, errEscaped) {
+			if errors.Is(err, errEscaped) || errors.Is(err, errCorridor) {
 				return rn, err
 			}
 			return rn, fmt.Errorf("route: net %d sink %d: %v", id, pi, err)
@@ -227,6 +247,36 @@ func (w *worker) treeAdd(i int32) {
 // inTree reports membership in the current net's tree.
 func (w *worker) inTree(i int32) bool { return w.treeEp[i] == w.treeEpoch }
 
+// setCorridor arms the corridor mask for the next routeNet call: tiles
+// (planner tile indices) are stamped into an epoch set and wire moves
+// outside them are pruned. clearCorridor must be called once the net is
+// done — the mask is worker state, not per-search state.
+//
+//smlint:hot
+func (w *worker) setCorridor(tw, th int, tiles []int32, reg region) {
+	if len(w.corrEp) < tw*th {
+		w.corrEp = make([]int32, tw*th)
+		w.corrEpoch = 0
+	}
+	w.corrTW = tw
+	w.corrEpoch++
+	for _, t := range tiles {
+		w.corrEp[t] = w.corrEpoch
+	}
+	w.corrReg = reg
+	w.corrOn = true
+}
+
+func (w *worker) clearCorridor() { w.corrOn = false }
+
+// wireOK reports whether a wire move may enter gcell (x, y): always in
+// flat mode, corridor members only in hierarchical mode.
+//
+//smlint:hot
+func (w *worker) wireOK(x, y int) bool {
+	return !w.corrOn || w.corrEp[(y/waveTileGCells)*w.corrTW+x/waveTileGCells] == w.corrEpoch
+}
+
 // search runs A* from the tree frontier to the target node. Wire moves are
 // restricted to layers >= wireMin in the layer's preferred direction; via
 // moves are always allowed. The search region is the bounding box of the
@@ -234,8 +284,23 @@ func (w *worker) inTree(i int32) bool { return w.treeEp[i] == w.treeEpoch }
 // — except in bounded mode, where any region not contained in bound
 // (including the retry) aborts with errEscaped.
 //
+// With a corridor armed (hierarchical refinement) there is no detour
+// loop: one attempt runs over the corridor's rectangle with wire moves
+// masked to corridor tiles, and failure reports errCorridor so the
+// caller can fall back (serially) or escape (in a wave).
+//
 //smlint:hot
 func (w *worker) search(target Node, wireMin int, bound *region) ([]Edge, error) {
+	if w.corrOn {
+		if bound != nil && !bound.contains(w.corrReg) {
+			return nil, errEscaped
+		}
+		edges, ok := w.searchBounded(target, wireMin, w.corrReg)
+		if ok {
+			return edges, nil
+		}
+		return nil, errCorridor
+	}
 	for _, detour := range []int{w.r.Opt.MaxDetour, w.r.Opt.MaxDetour * 4} {
 		reg := w.searchRegion(target, detour)
 		if bound != nil && !bound.contains(reg) {
@@ -303,8 +368,10 @@ func (w *worker) searchBounded(target Node, wireMin int, reg region) ([]Edge, bo
 	ep := w.epoch
 	tIdx := w.r.idx(target)
 
-	h := func(i int32) int64 {
-		n := w.r.node(i)
+	// h takes the already-decoded node: index decoding (node()) costs an
+	// integer div/mod pair, and every caller here has the coordinates in
+	// hand — recomputing them per push/pop dominated profiles.
+	h := func(n Node) int64 {
 		dx := int64(absInt(n.X - target.X))
 		dy := int64(absInt(n.Y - target.Y))
 		dz := int64(absInt(n.Z - target.Z))
@@ -323,7 +390,7 @@ func (w *worker) searchBounded(target Node, wireMin int, reg region) ([]Edge, bo
 		w.dist[t] = 0
 		w.visitID[t] = ep
 		w.from[t] = -1
-		q = heapx.Push(q, pqItem{Pri: h(t), Value: t})
+		q = heapx.Push(q, pqItem{Pri: h(w.r.node(t)), Value: t})
 	}
 	relax := func(cur int32, next Node, cost int64) {
 		ni := w.r.idx(next)
@@ -332,7 +399,7 @@ func (w *worker) searchBounded(target Node, wireMin int, reg region) ([]Edge, bo
 			w.visitID[ni] = ep
 			w.dist[ni] = nd
 			w.from[ni] = cur
-			q = heapx.Push(q, pqItem{Pri: nd + h(ni), Value: ni})
+			q = heapx.Push(q, pqItem{Pri: nd + h(next), Value: ni})
 		}
 	}
 	//smlint:bounded A* frontier is confined to the clamped search region (searchRegion), so pushes are finite; cancellation is enforced between nets by the flow layer
@@ -340,7 +407,11 @@ func (w *worker) searchBounded(target Node, wireMin int, reg region) ([]Edge, bo
 		var it pqItem
 		q, it = heapx.Pop(q)
 		cur := it.Value
-		if w.visitID[cur] != ep || it.Pri > w.dist[cur]+h(cur) {
+		if w.visitID[cur] != ep {
+			continue // stale entry
+		}
+		curN := w.r.node(cur)
+		if it.Pri > w.dist[cur]+h(curN) {
 			continue // stale entry
 		}
 		if cur == tIdx {
@@ -353,7 +424,7 @@ func (w *worker) searchBounded(target Node, wireMin int, reg region) ([]Edge, bo
 			w.pathBuf = edges
 			return edges, true
 		}
-		n := w.r.node(cur)
+		n := curN
 		// Via moves.
 		if n.Z < g.Layers {
 			relax(cur, Node{n.X, n.Y, n.Z + 1}, w.r.viaCost())
@@ -361,20 +432,21 @@ func (w *worker) searchBounded(target Node, wireMin int, reg region) ([]Edge, bo
 		if n.Z > 1 {
 			relax(cur, Node{n.X, n.Y, n.Z - 1}, w.r.viaCost())
 		}
-		// Wire moves (preferred direction, within bounds, above wireMin).
+		// Wire moves (preferred direction, within bounds and the corridor
+		// mask, above wireMin).
 		if n.Z >= wireMin {
 			if Horizontal(n.Z) {
-				if n.X > loX {
+				if n.X > loX && w.wireOK(n.X-1, n.Y) {
 					relax(cur, Node{n.X - 1, n.Y, n.Z}, w.segCost(Node{n.X - 1, n.Y, n.Z}, true))
 				}
-				if n.X < hiX {
+				if n.X < hiX && w.wireOK(n.X+1, n.Y) {
 					relax(cur, Node{n.X + 1, n.Y, n.Z}, w.segCost(n, true))
 				}
 			} else {
-				if n.Y > loY {
+				if n.Y > loY && w.wireOK(n.X, n.Y-1) {
 					relax(cur, Node{n.X, n.Y - 1, n.Z}, w.segCost(Node{n.X, n.Y - 1, n.Z}, false))
 				}
-				if n.Y < hiY {
+				if n.Y < hiY && w.wireOK(n.X, n.Y+1) {
 					relax(cur, Node{n.X, n.Y + 1, n.Z}, w.segCost(n, false))
 				}
 			}

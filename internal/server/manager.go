@@ -17,7 +17,12 @@ import (
 // resultKeySchema versions the server's disk-store key format
 // (JobRequest.CacheKey). Bump it whenever cached reports become stale
 // without the key bytes changing.
-const resultKeySchema = 1
+//
+// Schema 2: CacheKey gained the route strategy, and the hierarchical
+// router changed what large-die (auto-resolved) requests compute —
+// reports cached by pre-strategy binaries cannot be trusted for any
+// strategy, including the implicit auto.
+const resultKeySchema = 2
 
 // Submission errors the handlers map to HTTP status codes.
 var (
@@ -62,6 +67,13 @@ type Config struct {
 	// RetainTTL caps how long a finished job stays in the registry
 	// (default 1h).
 	RetainTTL time.Duration
+	// RouteStrategy, when non-empty, is the routing strategy ("auto",
+	// "flat", "hier") applied to requests that leave route_strategy unset.
+	// It is folded into the request at submission — before validation and
+	// cache keying — because, unlike the parallelism share, the strategy
+	// changes results and must be part of the cache identity. Empty leaves
+	// unset requests on the library default ("auto").
+	RouteStrategy string
 	// Logf, when non-nil, receives one line per job lifecycle transition.
 	Logf func(format string, args ...any)
 }
@@ -124,9 +136,17 @@ type Manager struct {
 }
 
 // NewManager starts a manager with cfg's worker pool running. It fails
-// only when cfg.CacheDir is set but cannot be created.
+// only when cfg.CacheDir is set but cannot be created, or when
+// cfg.RouteStrategy names an unknown strategy.
 func NewManager(cfg Config) (*Manager, error) {
 	cfg = cfg.withDefaults()
+	if cfg.RouteStrategy != "" {
+		// Fail at startup, not per-request: a bad server-wide default
+		// would otherwise reject every submission that omits a strategy.
+		if err := splitmfg.New(splitmfg.WithRouteStrategy(cfg.RouteStrategy)).Validate(); err != nil {
+			return nil, err
+		}
+	}
 	var disk *store.Store
 	if cfg.CacheDir != "" {
 		var err error
@@ -168,6 +188,13 @@ func (m *Manager) logf(format string, args ...any) {
 // failures surface as *splitmfg.OptionError (a 400); a full queue as
 // ErrQueueFull and a draining manager as ErrShuttingDown (503s).
 func (m *Manager) Submit(req splitmfg.JobRequest) (*Job, error) {
+	// Fold the server-wide routing-strategy default into the request
+	// itself (not into the run options) so it lands in the cache key: a
+	// request that omits the strategy must not share a result with the
+	// "auto" identity when the server defaults to something else.
+	if req.RouteStrategy == "" {
+		req.RouteStrategy = m.cfg.RouteStrategy
+	}
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}

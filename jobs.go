@@ -4,6 +4,8 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+
+	"splitmfg/internal/route"
 )
 
 // JobKind selects which Pipeline entry point a JobRequest runs.
@@ -66,6 +68,7 @@ type JobRequest struct {
 	MaxAttempts      int      `json:"max_attempts,omitempty"`      // WithMaxAttempts
 	Parallelism      int      `json:"parallelism,omitempty"`       // WithParallelism
 	RouteParallelism int      `json:"route_parallelism,omitempty"` // WithRouteParallelism
+	RouteStrategy    string   `json:"route_strategy,omitempty"`    // WithRouteStrategy ("auto", "flat", "hier"; "" = auto)
 }
 
 // benchmarkList normalizes the Benchmark/Benchmarks pair into one ordered
@@ -134,6 +137,7 @@ func (r JobRequest) Options(extra ...Option) []Option {
 		WithMaxAttempts(r.MaxAttempts),
 		WithParallelism(r.Parallelism),
 		WithRouteParallelism(r.RouteParallelism),
+		WithRouteStrategy(r.RouteStrategy),
 	}
 	// Seed is the one option whose library default is not the zero value
 	// (the default master seed is 1), so a zero seed means "default" here
@@ -157,15 +161,21 @@ func (r JobRequest) Options(extra ...Option) []Option {
 // requests with equal keys produce byte-identical reports. Parallelism and
 // route parallelism are excluded — every entry point guarantees identical
 // results at every parallelism level — so a server cache keyed on it shares
-// results across differently-budgeted submissions. The seed is normalized
-// the same way Options() resolves it (0 means the default master seed), so
-// an omitted seed and an explicitly-spelled default share one key.
+// results across differently-budgeted submissions. The route strategy is
+// included (flat and hier produce different routings) and normalized like
+// the seed: an omitted strategy and an explicit "auto" share one key. The
+// seed is normalized the same way Options() resolves it (0 means the
+// default master seed), so an omitted seed and an explicitly-spelled
+// default share one key.
 func (r JobRequest) CacheKey() string {
 	n := r
 	n.Benchmark = ""
 	n.Benchmarks = r.benchmarkList()
 	n.Parallelism = 0
 	n.RouteParallelism = 0
+	if n.RouteStrategy == "" {
+		n.RouteStrategy = string(route.StrategyAuto)
+	}
 	if n.Seed == 0 {
 		n.Seed = defaultSeed
 	}

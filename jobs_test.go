@@ -32,6 +32,9 @@ func TestPipelineValidate(t *testing.T) {
 		{"negative attempts", []Option{WithMaxAttempts(-1)}, "WithMaxAttempts"},
 		{"negative parallelism", []Option{WithParallelism(-1)}, "WithParallelism"},
 		{"negative route parallelism", []Option{WithRouteParallelism(-2)}, "WithRouteParallelism"},
+		{"flat route strategy", []Option{WithRouteStrategy("flat")}, ""},
+		{"hier route strategy", []Option{WithRouteStrategy("hier")}, ""},
+		{"unknown route strategy", []Option{WithRouteStrategy("bogus")}, "WithRouteStrategy"},
 		{"unknown attacker", []Option{WithAttackers("bogus")}, "WithAttackers"},
 		{"blank attacker", []Option{WithAttackers("")}, "WithAttackers"},
 		{"unknown defense", []Option{WithDefenses("bogus")}, "WithDefenses"},
@@ -121,6 +124,23 @@ func TestJobRequestCacheKeyNormalizesSeed(t *testing.T) {
 	other := JobRequest{Kind: JobAttack, Benchmark: "c432", Seed: 2}
 	if other.CacheKey() == spelled.CacheKey() {
 		t.Fatal("distinct seeds share a cache key")
+	}
+}
+
+func TestJobRequestCacheKeyRouteStrategy(t *testing.T) {
+	// An omitted strategy resolves to auto, so the two spellings must
+	// share one key — but flat and hier change the routed layouts, so
+	// each strategy gets its own identity.
+	omitted := JobRequest{Kind: JobMatrix, Benchmark: "c432"}
+	auto := JobRequest{Kind: JobMatrix, Benchmark: "c432", RouteStrategy: "auto"}
+	if omitted.CacheKey() != auto.CacheKey() {
+		t.Fatalf("auto-strategy spellings not normalized:\n%s\n%s", omitted.CacheKey(), auto.CacheKey())
+	}
+	flat := JobRequest{Kind: JobMatrix, Benchmark: "c432", RouteStrategy: "flat"}
+	hier := JobRequest{Kind: JobMatrix, Benchmark: "c432", RouteStrategy: "hier"}
+	if flat.CacheKey() == auto.CacheKey() || hier.CacheKey() == auto.CacheKey() || flat.CacheKey() == hier.CacheKey() {
+		t.Fatalf("strategies share a cache key:\nauto %s\nflat %s\nhier %s",
+			auto.CacheKey(), flat.CacheKey(), hier.CacheKey())
 	}
 }
 

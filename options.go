@@ -18,6 +18,7 @@ type pipelineConfig struct {
 	maxAttempts  int
 	parallelism  int
 	routePar     int
+	routeStrat   string
 	cacheDir     string
 	progress     ProgressFunc
 }
@@ -132,6 +133,19 @@ func WithParallelism(n int) Option {
 // from them — are byte-identical at every parallelism level.
 func WithRouteParallelism(n int) Option {
 	return func(c *pipelineConfig) { c.routePar = n }
+}
+
+// WithRouteStrategy selects how each place-and-route explores the routing
+// grid: "flat" routes every net with a single-level search, "hier" runs a
+// coarse tile-grid pass first and confines each net's fine search to its
+// planned corridor (much faster on large dies), and "auto" (the default)
+// picks per design by die area — ISCAS-class dies route flat, superblue-
+// class dies route hierarchically. Unlike WithRouteParallelism the
+// strategy changes the routed layouts (both are valid; reports remain
+// byte-identical at every parallelism level for a fixed strategy), so it
+// is part of every cache identity. An unknown name fails validation.
+func WithRouteStrategy(name string) Option {
+	return func(c *pipelineConfig) { c.routeStrat = name }
 }
 
 // WithCacheDir backs Suite's result cache with a disk-based

@@ -63,6 +63,7 @@ func (p *Pipeline) flowConfig(d *Design) flow.Config {
 		SplitLayers:      c.splitLayers,
 		MaxAttempts:      c.maxAttempts,
 		RouteParallelism: c.routePar,
+		RouteStrategy:    route.Strategy(c.routeStrat),
 		Progress:         c.progress,
 	}
 	if fc.LiftLayer == 0 {
@@ -80,7 +81,7 @@ func (p *Pipeline) flowConfig(d *Design) flow.Config {
 func (p *Pipeline) corrOptions(d *Design) correction.Options {
 	fc := p.flowConfig(d)
 	return correction.Options{LiftLayer: fc.LiftLayer, UtilPercent: fc.UtilPercent, Seed: fc.Seed,
-		RouteOpt: route.Options{Parallelism: fc.RouteParallelism}}
+		RouteOpt: route.Options{Parallelism: fc.RouteParallelism, Strategy: fc.RouteStrategy}}
 }
 
 // Protect runs the full Fig.-2 protection flow on the design: randomize to
@@ -224,6 +225,7 @@ func (p *Pipeline) matrixOptions(d *Design) flow.MatrixOptions {
 		TargetOER:        c.targetOER,
 		Fraction:         c.fraction,
 		RouteParallelism: c.routePar,
+		RouteStrategy:    route.Strategy(c.routeStrat),
 		Progress:         c.progress,
 	}
 }
@@ -261,6 +263,7 @@ func (p *Pipeline) suiteOptions(designs []*Design) flow.SuiteOptions {
 		TargetOER:        c.targetOER,
 		Fraction:         c.fraction,
 		RouteParallelism: c.routePar,
+		RouteStrategy:    route.Strategy(c.routeStrat),
 		CacheDir:         c.cacheDir,
 		Progress:         c.progress,
 	}

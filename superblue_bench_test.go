@@ -4,7 +4,9 @@
 // it synthesizes, binds, places, routes, and splits superblue18 at its
 // published 670k-net size on one machine (see DESIGN.md "Memory layout at
 // scale" for the numbers the SoA overhaul buys there). CI runs it at a
-// reduced scale and publishes the result as BENCH_superblue.json.
+// reduced scale and publishes the result as BENCH_superblue.json, with one
+// sub-benchmark series per routing strategy (flat and hier) so the
+// hierarchical router's speedup is tracked as its own trajectory.
 package splitmfg
 
 import (
@@ -16,6 +18,9 @@ import (
 	"splitmfg/internal/bench"
 	"splitmfg/internal/cell"
 	"splitmfg/internal/defense/correction"
+	"splitmfg/internal/layout"
+	"splitmfg/internal/place"
+	"splitmfg/internal/route"
 )
 
 // superblueBenchScale reads the scale divisor from SUPERBLUE_SCALE
@@ -33,12 +38,19 @@ func superblueBenchScale(b *testing.B) int {
 	return v
 }
 
+// benchStrategies are the routing strategies every superblue benchmark
+// runs as sub-benchmarks: the strategy name is the sub-benchmark's final
+// path segment, which tools/benchjson turns into a variant tag so both
+// series land in one JSON artifact.
+var benchStrategies = []route.Strategy{route.StrategyFlat, route.StrategyHier}
+
 // BenchmarkSuperblueEndToEnd measures netlist synthesis -> cell binding ->
 // placement at the published utilization -> full routing -> M5 split (the
 // FEOL view a foundry adversary starts from) for superblue18, the smallest
-// of the five industrial designs. One iteration is one complete pipeline;
-// allocs/op and B/op therefore bound the end-to-end allocation cost of
-// taking a design from published counts to an attackable split view.
+// of the five industrial designs, once per routing strategy. One iteration
+// is one complete pipeline; allocs/op and B/op therefore bound the
+// end-to-end allocation cost of taking a design from published counts to
+// an attackable split view.
 func BenchmarkSuperblueEndToEnd(b *testing.B) {
 	const name = "superblue18"
 	scale := superblueBenchScale(b)
@@ -47,23 +59,66 @@ func BenchmarkSuperblueEndToEnd(b *testing.B) {
 		b.Fatal(err)
 	}
 	lib := cell.NewNangate45Like()
-	b.Run(fmt.Sprintf("%s/scale%d", name, scale), func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			nl, err := bench.Superblue(name, scale)
-			if err != nil {
-				b.Fatal(err)
+	for _, strat := range benchStrategies {
+		b.Run(fmt.Sprintf("%s/scale%d/%s", name, scale, strat), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				nl, err := bench.Superblue(name, scale)
+				if err != nil {
+					b.Fatal(err)
+				}
+				d, err := correction.BuildOriginal(nl, lib, correction.Options{
+					UtilPercent: util, Seed: 1,
+					RouteOpt: route.Options{Strategy: strat},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sv, err := d.Split(5)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(sv.VPins) == 0 {
+					b.Fatal("split produced no vpins")
+				}
 			}
-			d, err := correction.BuildOriginal(nl, lib, correction.Options{UtilPercent: util, Seed: 1})
-			if err != nil {
-				b.Fatal(err)
+		})
+	}
+}
+
+// BenchmarkSuperblueRoute isolates the routing phase: synthesis, binding,
+// and placement run once outside the timer, and each iteration routes the
+// placed design from scratch. This is the benchmark the hierarchical
+// strategy is judged on — the flat and hier series differ only in how the
+// router explores the grid, so their ratio is the pure two-level speedup
+// with no placement noise.
+func BenchmarkSuperblueRoute(b *testing.B) {
+	const name = "superblue18"
+	scale := superblueBenchScale(b)
+	util, err := bench.SuperblueUtil(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lib := cell.NewNangate45Like()
+	nl, err := bench.Superblue(name, scale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	masters, err := lib.Bind(nl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl, err := place.Place(nl, masters, place.Options{UtilPercent: util, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, strat := range benchStrategies {
+		b.Run(fmt.Sprintf("%s/scale%d/%s", name, scale, strat), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d := layout.NewDesign(nl, masters, pl, route.Options{Strategy: strat})
+				if err := d.RouteAll(nil); err != nil {
+					b.Fatal(err)
+				}
 			}
-			sv, err := d.Split(5)
-			if err != nil {
-				b.Fatal(err)
-			}
-			if len(sv.VPins) == 0 {
-				b.Fatal("split produced no vpins")
-			}
-		}
-	})
+		})
+	}
 }

@@ -5,7 +5,10 @@
 //
 // Each entry carries the benchmark name (GOMAXPROCS suffix stripped), the
 // iteration count, and ns/op, plus B/op and allocs/op when -benchmem was
-// set. CI uses it to persist the perf trajectory as a build artifact.
+// set. Sub-benchmarks whose final "/"-separated segment names a routing
+// strategy (flat, hier, auto) additionally get that segment as a variant
+// tag, so one benchmark family's strategies plot as separate series. CI
+// uses it to persist the perf trajectory as a build artifact.
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"os"
 	"regexp"
 	"strconv"
+	"strings"
 )
 
 func main() {
@@ -25,13 +29,29 @@ func main() {
 	}
 }
 
-// Entry is one benchmark result.
+// Entry is one benchmark result. Benchmark keeps the full sub-benchmark
+// path; Variant repeats the final path segment when it names a routing
+// strategy, tagging the entry as one series of a multi-strategy family.
 type Entry struct {
 	Benchmark   string  `json:"benchmark"`
+	Variant     string  `json:"variant,omitempty"`
 	Ops         int64   `json:"op"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+}
+
+// variants are the recognized variant tags — the routing strategies the
+// superblue benchmarks fan out over.
+var variants = map[string]bool{"flat": true, "hier": true, "auto": true}
+
+// variantOf returns the benchmark name's final "/"-separated segment when
+// it is a recognized variant tag, else "".
+func variantOf(name string) string {
+	if i := strings.LastIndexByte(name, '/'); i >= 0 && variants[name[i+1:]] {
+		return name[i+1:]
+	}
+	return ""
 }
 
 // benchLine matches e.g.
@@ -58,7 +78,7 @@ func run(in io.Reader, out io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("bad ns/op in %q: %v", sc.Text(), err)
 		}
-		e := Entry{Benchmark: m[1], Ops: ops, NsPerOp: ns}
+		e := Entry{Benchmark: m[1], Variant: variantOf(m[1]), Ops: ops, NsPerOp: ns}
 		if m[4] != "" {
 			v, err := strconv.ParseInt(m[4], 10, 64)
 			if err != nil {

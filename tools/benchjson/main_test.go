@@ -13,6 +13,8 @@ cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkEvaluateSerialC880-8   	       1	 123456789 ns/op
 BenchmarkEvaluateParallelC880   	       3	  45678901.5 ns/op
 BenchmarkRouteNet-4   	       5	 361077773 ns/op	 7822456 B/op	    8407 allocs/op
+BenchmarkSuperblueRoute/superblue18/scale200/flat-8   	       1	 4655000000 ns/op
+BenchmarkSuperblueRoute/superblue18/scale200/hier-8   	       1	 2250000000 ns/op
 PASS
 ok  	splitmfg	1.234s
 `
@@ -26,8 +28,8 @@ func TestRunParsesBenchOutput(t *testing.T) {
 	if err := json.Unmarshal([]byte(out.String()), &entries); err != nil {
 		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
 	}
-	if len(entries) != 3 {
-		t.Fatalf("parsed %d entries, want 3: %+v", len(entries), entries)
+	if len(entries) != 5 {
+		t.Fatalf("parsed %d entries, want 5: %+v", len(entries), entries)
 	}
 	first := entries[0]
 	if first.Benchmark != "BenchmarkEvaluateSerialC880" || first.Ops != 1 || first.NsPerOp != 123456789 {
@@ -43,6 +45,16 @@ func TestRunParsesBenchOutput(t *testing.T) {
 	if third.BytesPerOp == nil || *third.BytesPerOp != 7822456 ||
 		third.AllocsPerOp == nil || *third.AllocsPerOp != 8407 {
 		t.Fatalf("benchmem fields wrong: %+v", third)
+	}
+	if third.Variant != "" {
+		t.Fatalf("non-strategy benchmark got a variant tag: %+v", third)
+	}
+	flat, hier := entries[3], entries[4]
+	if flat.Benchmark != "BenchmarkSuperblueRoute/superblue18/scale200/flat" || flat.Variant != "flat" {
+		t.Fatalf("flat series entry = %+v", flat)
+	}
+	if hier.Variant != "hier" || hier.NsPerOp != 2250000000 {
+		t.Fatalf("hier series entry = %+v", hier)
 	}
 }
 

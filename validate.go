@@ -5,6 +5,7 @@ import (
 
 	"splitmfg/internal/attack/engine"
 	defengine "splitmfg/internal/defense/engine"
+	"splitmfg/internal/route"
 )
 
 // OptionError reports a Pipeline option (or server job-request field) whose
@@ -66,6 +67,9 @@ func (c *pipelineConfig) validate() error {
 	}
 	if c.routePar < 0 {
 		return &OptionError{"WithRouteParallelism", fmt.Sprintf("route parallelism %d is negative", c.routePar)}
+	}
+	if _, err := route.ParseStrategy(c.routeStrat); err != nil {
+		return &OptionError{"WithRouteStrategy", err.Error()}
 	}
 	// An empty list means "the default engine", so only non-empty lists
 	// resolve; resolution rejects blank and unknown names, naming the
